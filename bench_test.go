@@ -1,0 +1,182 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 7), plus micro-benchmarks for the core
+// operations. Each BenchmarkFig*/BenchmarkTable* iteration executes the
+// corresponding experiment at reduced (Quick) scale so the whole suite
+// runs in minutes; `go run ./cmd/experiments` runs the full-scale
+// versions and prints the tables.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/chase"
+	"repro/internal/gen"
+	"repro/internal/paperdata"
+	"repro/internal/rule"
+	"repro/internal/topk"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *bench.Suite
+)
+
+func quickSuite() *bench.Suite {
+	suiteOnce.Do(func() { suite = bench.NewSuite(bench.Quick()) })
+	return suite
+}
+
+func runReport(b *testing.B, f func() (*bench.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Exp-1: effectiveness of IsCR (Fig 6(a), 6(e)).
+func BenchmarkFig6a_IsCRComplete(b *testing.B)   { runReport(b, quickSuite().Fig6a) }
+func BenchmarkFig6e_IsCRAttributes(b *testing.B) { runReport(b, quickSuite().Fig6e) }
+
+// Exp-2: top-k candidate quality (Fig 6(b), 6(f), 6(c), 6(g)).
+func BenchmarkFig6b_MedVaryK(b *testing.B)  { runReport(b, quickSuite().Fig6b) }
+func BenchmarkFig6f_CFPVaryK(b *testing.B)  { runReport(b, quickSuite().Fig6f) }
+func BenchmarkFig6c_MedVaryIm(b *testing.B) { runReport(b, quickSuite().Fig6c) }
+func BenchmarkFig6g_CFPVaryIm(b *testing.B) { runReport(b, quickSuite().Fig6g) }
+
+// Exp-3: user interaction rounds (Fig 6(d), 6(h)).
+func BenchmarkFig6d_MedInteraction(b *testing.B) { runReport(b, quickSuite().Fig6d) }
+func BenchmarkFig6h_CFPInteraction(b *testing.B) { runReport(b, quickSuite().Fig6h) }
+
+// Exp-4: efficiency (Fig 6(i)–6(l), 7(a), 7(b)).
+func BenchmarkFig6i_SynVaryIe(b *testing.B)    { runReport(b, quickSuite().Fig6i) }
+func BenchmarkFig6j_SynVarySigma(b *testing.B) { runReport(b, quickSuite().Fig6j) }
+func BenchmarkFig6k_SynVaryIm(b *testing.B)    { runReport(b, quickSuite().Fig6k) }
+func BenchmarkFig6l_SynVaryK(b *testing.B)     { runReport(b, quickSuite().Fig6l) }
+func BenchmarkFig7a_MedVaryIe(b *testing.B)    { runReport(b, quickSuite().Fig7a) }
+func BenchmarkFig7b_MedVaryIm(b *testing.B)    { runReport(b, quickSuite().Fig7b) }
+
+// Exp-5: truth discovery (Table 4 and the CFP comparison).
+func BenchmarkTable4_Rest(b *testing.B) { runReport(b, quickSuite().Table4) }
+func BenchmarkExp5_CFP(b *testing.B)    { runReport(b, quickSuite().Exp5CFP) }
+
+// --- micro-benchmarks for the core operations ---
+
+func paperGrounding(b *testing.B) *chase.Grounding {
+	b.Helper()
+	ie := paperdata.Stat()
+	im := paperdata.NBA()
+	rs, err := rule.NewSet(ie.Schema(), im.Schema(), paperdata.Rules()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := chase.NewGrounding(chase.Spec{Ie: ie, Im: im, Rules: rs}, chase.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkIsCR measures one chase run on the paper's running example
+// (the §5 claim: about 10ms per entity at Med scale; far less here).
+func BenchmarkIsCR(b *testing.B) {
+	g := paperGrounding(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := g.Run(nil); !res.CR {
+			b.Fatal(res.Conflict)
+		}
+	}
+}
+
+// BenchmarkInstantiation measures the grounding preprocessing.
+func BenchmarkInstantiation(b *testing.B) {
+	ie := paperdata.Stat()
+	im := paperdata.NBA()
+	rs, err := rule.NewSet(ie.Schema(), im.Schema(), paperdata.Rules()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chase.NewGrounding(chase.Spec{Ie: ie, Im: im, Rules: rs}, chase.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheck measures the candidate-target check of §6.1.
+func BenchmarkCheck(b *testing.B) {
+	g := paperGrounding(b)
+	cand := paperdata.Target()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !g.Run(cand).CR {
+			b.Fatal("true target rejected")
+		}
+	}
+}
+
+// synGrounding builds a mid-size synthetic grounding shared by the
+// top-k micro-benchmarks.
+var (
+	synOnce sync.Once
+	synG    *chase.Grounding
+)
+
+func synGrounding(b *testing.B) *chase.Grounding {
+	b.Helper()
+	synOnce.Do(func() {
+		cfg := gen.SynDefault()
+		cfg.Tuples = 300
+		cfg.Im = 100
+		ds := gen.GenerateSyn(cfg)
+		g, err := chase.NewGrounding(chase.Spec{
+			Ie: ds.Entities[0].Instance, Im: ds.Master, Rules: ds.Rules}, chase.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		synG = g
+	})
+	return synG
+}
+
+// BenchmarkTopKCT_Syn measures TopKCT at k=10 on a 300-tuple instance.
+func BenchmarkTopKCT_Syn(b *testing.B) {
+	g := synGrounding(b)
+	te := g.Run(nil).Target
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := topk.TopKCT(g, te, topk.Preference{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopKCTh_Syn measures the heuristic on the same instance.
+func BenchmarkTopKCTh_Syn(b *testing.B) {
+	g := synGrounding(b)
+	te := g.Run(nil).Target
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := topk.TopKCTh(g, te, topk.Preference{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRankJoinCT_Syn measures the rank-join baseline on the same
+// instance.
+func BenchmarkRankJoinCT_Syn(b *testing.B) {
+	g := synGrounding(b)
+	te := g.Run(nil).Target
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := topk.RankJoinCT(g, te, topk.Preference{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 7) and prints the results as text tables, with the
+// paper's values quoted in the notes for comparison.
+//
+//	experiments            # full scale (the paper's dataset sizes)
+//	experiments -quick     # reduced scale (seconds instead of minutes)
+//	experiments -only Fig6a,Table4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	only := flag.String("only", "", "comma-separated report IDs to run (default: all)")
+	flag.Parse()
+
+	cfg := bench.Default()
+	if *quick {
+		cfg = bench.Quick()
+	}
+	s := bench.NewSuite(cfg)
+
+	type exp struct {
+		id  string
+		run func() (*bench.Report, error)
+	}
+	all := []exp{
+		{"Fig6a", s.Fig6a},
+		{"Fig6e", s.Fig6e},
+		{"Exp1-complete-by-form", s.CompleteByForm},
+		{"Exp1-accuracy", s.Exp1Accuracy},
+		{"Fig6b", s.Fig6b},
+		{"Fig6f", s.Fig6f},
+		{"Fig6c", s.Fig6c},
+		{"Fig6g", s.Fig6g},
+		{"Fig6d", s.Fig6d},
+		{"Fig6h", s.Fig6h},
+		{"Fig6i", s.Fig6i},
+		{"Fig6j", s.Fig6j},
+		{"Fig6k", s.Fig6k},
+		{"Fig6l", s.Fig6l},
+		{"Fig7a", s.Fig7a},
+		{"Fig7b", s.Fig7b},
+		{"IsCR-timing", s.IsCRTiming},
+		{"Table4", s.Table4},
+		{"Exp5-CFP", s.Exp5CFP},
+	}
+
+	var wanted map[string]bool
+	if *only != "" {
+		wanted = map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	start := time.Now()
+	for _, e := range all {
+		if wanted != nil && !wanted[e.id] {
+			continue
+		}
+		t0 := time.Now()
+		rep, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s took %s)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}

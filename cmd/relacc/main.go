@@ -1,0 +1,189 @@
+// Command relacc runs relative-accuracy deduction on CSV data:
+//
+//	relacc deduce -data instance.csv [-master master.csv] -rules rules.txt
+//	relacc topk   -data instance.csv [-master master.csv] -rules rules.txt -k 10 [-algo topkct|rankjoin|topkcth]
+//	relacc check  -data instance.csv [-master master.csv] -rules rules.txt -candidate cand.csv
+//	relacc rules  -rules rules.txt -data instance.csv [-master master.csv]
+//
+// The instance CSV holds the tuples of ONE entity (header = attribute
+// names); the optional master CSV holds master data; the rule file uses
+// the textual rule language (see internal/ruledsl):
+//
+//	phi1: t1[league] = t2[league] , t1[rnds] < t2[rnds] -> t1 <= t2 @ rnds
+//	phi6: master te[FN] = tm[FN] , tm[season] = "1994-95" -> te[league] = tm[league]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/csvio"
+	"repro/internal/model"
+	"repro/internal/rule"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	dataPath := fs.String("data", "", "entity instance CSV (required)")
+	masterPath := fs.String("master", "", "master relation CSV")
+	rulesPath := fs.String("rules", "", "accuracy rule file (required)")
+	k := fs.Int("k", 10, "number of candidate targets (topk)")
+	algo := fs.String("algo", "topkct", "top-k algorithm: topkct, rankjoin or topkcth")
+	candPath := fs.String("candidate", "", "candidate tuple CSV (check)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	switch cmd {
+	case "deduce", "topk", "check", "rules":
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if *dataPath == "" || *rulesPath == "" {
+		fmt.Fprintln(os.Stderr, "relacc: -data and -rules are required")
+		os.Exit(2)
+	}
+
+	sess, ie, rs, err := load(*dataPath, *masterPath, *rulesPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "rules":
+		fmt.Printf("%d rules validated\n%s", rs.Len(), core.FormatRules(rs))
+		return
+	case "deduce":
+		res := sess.Deduce()
+		if !res.CR {
+			fmt.Printf("specification is NOT Church-Rosser: %s\n", res.Conflict)
+			os.Exit(1)
+		}
+		fmt.Println("specification is Church-Rosser")
+		printTarget(ie.Schema(), res.Target)
+	case "topk":
+		var a core.Algorithm
+		switch *algo {
+		case "topkct":
+			a = core.AlgoTopKCT
+		case "rankjoin":
+			a = core.AlgoRankJoinCT
+		case "topkcth":
+			a = core.AlgoTopKCTh
+		default:
+			fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		}
+		res := sess.Deduce()
+		if !res.CR {
+			fatal(fmt.Errorf("specification is not Church-Rosser: %s", res.Conflict))
+		}
+		if res.Target.Complete() {
+			fmt.Println("deduced target is already complete:")
+			printTarget(ie.Schema(), res.Target)
+			return
+		}
+		fmt.Println("deduced (incomplete) target:")
+		printTarget(ie.Schema(), res.Target)
+		cands, stats, err := sess.TopK(core.Preference{K: *k}, a)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("top-%d candidate targets (%d checks):\n", *k, stats.Checks)
+		for i, c := range cands {
+			fmt.Printf("%2d. score=%.1f %s\n", i+1, c.Score, c.Tuple)
+		}
+	case "check":
+		if *candPath == "" {
+			fatal(fmt.Errorf("-candidate is required for check"))
+		}
+		_, tuples, err := csvio.ReadRelationFile(*candPath)
+		if err != nil {
+			fatal(err)
+		}
+		if len(tuples) != 1 {
+			fatal(fmt.Errorf("candidate file must hold exactly one tuple, got %d", len(tuples)))
+		}
+		// Rebuild the candidate over the instance schema by attribute name.
+		cand := model.NewTuple(ie.Schema())
+		for _, a := range tuples[0].Schema().Attrs() {
+			if v, ok := tuples[0].Get(a); ok {
+				cand.Set(a, v)
+			}
+		}
+		if sess.Check(cand) {
+			fmt.Println("candidate PASSES the chase check")
+		} else {
+			fmt.Println("candidate FAILS the chase check")
+			os.Exit(1)
+		}
+	}
+}
+
+func load(dataPath, masterPath, rulesPath string) (*core.Session, *model.EntityInstance, *rule.Set, error) {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	ie, err := csvio.ReadEntityInstance(f, "instance")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var im *model.MasterRelation
+	if masterPath != "" {
+		mf, err := os.Open(masterPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer mf.Close()
+		im, err = csvio.ReadMaster(mf, "master")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	text, err := os.ReadFile(rulesPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var ms *model.Schema
+	if im != nil {
+		ms = im.Schema()
+	}
+	rules, err := core.ParseRules(string(text), ie.Schema(), ms)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sess, err := core.NewSession(ie, im, rules)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sess, ie, rules, nil
+}
+
+func printTarget(schema *model.Schema, t *model.Tuple) {
+	for a := 0; a < schema.Arity(); a++ {
+		v := t.At(a)
+		mark := " "
+		if v.IsNull() {
+			mark = "?"
+		}
+		fmt.Printf("  %s %-14s = %s\n", mark, schema.Attr(a), v)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: relacc <deduce|topk|check|rules> -data instance.csv -rules rules.txt [flags]`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "relacc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Yang Cao, Wenfei Fan, Wenyuan Yu.
+//	Determining the Relative Accuracy of Attributes.
+//	SIGMOD 2013, pp. 565–576.
+//
+// The library deduces, for a set of conflicting tuples that describe the
+// same real-world entity, which tuple is more accurate in which
+// attribute — without knowing the true values — by chasing declarative
+// accuracy rules and optional master data, and it searches top-k
+// candidate target tuples when deduction alone cannot complete the
+// answer.
+//
+// Start at internal/core for the library API, cmd/relacc for the CLI,
+// cmd/experiments for the reproduction of the paper's evaluation, and
+// the examples/ directory for runnable walkthroughs. DESIGN.md maps
+// every subsystem and experiment; EXPERIMENTS.md records measured
+// results against the paper's.
+package repro

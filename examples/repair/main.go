@@ -1,0 +1,91 @@
+// Repair: consistency and accuracy working together.
+//
+// Example 1 of the paper shows that consistent data can still be
+// inaccurate: the stat relation satisfies the FD
+// [FN, MN, LN, league, rnds → totalPts] and the constant CFD
+// [team = "Chicago Bulls" → arena = "United Center"], yet most values
+// are stale. The Remark of Section 2.1 shows that constant CFDs compile
+// into form-(2) accuracy rules, so one chase both picks the accurate
+// values and keeps the target consistent — this example demonstrates
+// that interplay, including the rejection of a candidate that would
+// violate the CFD.
+//
+// Run with: go run ./examples/repair
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cfd"
+	"repro/internal/chase"
+	"repro/internal/model"
+	"repro/internal/paperdata"
+	"repro/internal/rule"
+)
+
+func main() {
+	ie := paperdata.Stat()
+
+	// Example 1's constraints.
+	fd := &cfd.FD{Name: "fd1",
+		LHS: []string{"FN", "MN", "LN", "league", "rnds"}, RHS: []string{"totalPts"}}
+	psi := &cfd.ConstantCFD{Name: "psi",
+		When: []cfd.Pattern{{Attr: "team", Val: model.S("Chicago Bulls")}},
+		Then: cfd.Pattern{Attr: "arena", Val: model.S("United Center")}}
+
+	fmt.Printf("FD  %s: violations on stat = %v\n", fd, fd.Violations(ie))
+	fmt.Printf("CFD %s: violations on stat = %v\n", psi, psi.Violations(ie))
+	fmt.Println("→ the data is consistent, yet most values are inaccurate (Example 1)")
+
+	// Compile the CFD into accuracy rules and chase with the paper's
+	// currency/correlation rules ϕ1–ϕ5 — but WITHOUT the master-data
+	// lookups ϕ6 and without ϕ11, so arena must come from the CFD.
+	cfdMaster, cfdRules, err := cfd.Compile(ie.Schema(), []*cfd.ConstantCFD{psi})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rules []rule.Rule
+	for _, r := range paperdata.Rules() {
+		switch r.Name() {
+		case "phi6a", "phi6b", "phi11":
+			continue
+		}
+		rules = append(rules, r)
+	}
+	rules = append(rules, cfdRules...)
+	rs, err := rule.NewSet(ie.Schema(), cfdMaster.Schema(), rules...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := chase.NewGrounding(chase.Spec{Ie: ie, Im: cfdMaster, Rules: rs}, chase.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := g.Run(nil)
+	if !res.CR {
+		log.Fatalf("not Church-Rosser: %s", res.Conflict)
+	}
+	fmt.Println("\ndeduced target with ϕ1–ϕ5 + compiled CFD (no master data):")
+	for a := 0; a < ie.Schema().Arity(); a++ {
+		fmt.Printf("  te[%s] = %s\n", ie.Schema().Attr(a), res.Target.At(a))
+	}
+
+	// Supply team via a template (as a user or master data would): the
+	// CFD forces the matching arena.
+	tpl := model.NewTuple(ie.Schema())
+	tpl.Set("team", model.S("Chicago Bulls"))
+	res2 := g.Run(tpl)
+	arena, _ := res2.Target.Get("arena")
+	fmt.Printf("\nafter fixing te[team] = Chicago Bulls, the CFD forces te[arena] = %s\n", arena)
+
+	// And a candidate violating the CFD is rejected by the chase check.
+	bad := res2.Target.Clone()
+	bad.Set("arena", model.S("Chicago Stadium"))
+	for _, a := range bad.NullAttrs() {
+		bad.SetAt(a, model.S("whatever"))
+	}
+	fmt.Printf("candidate with team=Chicago Bulls but arena=Chicago Stadium: pass=%v\n",
+		g.Run(bad).CR)
+}

@@ -1,0 +1,37 @@
+package bench
+
+// All runs every experiment in paper order and returns the reports.
+// Experiments that fail abort with the error (they share generated
+// datasets, so a failure usually means a configuration problem).
+func (s *Suite) All() ([]*Report, error) {
+	runs := []func() (*Report, error){
+		s.Fig6a,
+		s.Fig6e,
+		s.CompleteByForm,
+		s.Exp1Accuracy,
+		s.Fig6b,
+		s.Fig6f,
+		s.Fig6c,
+		s.Fig6g,
+		s.Fig6d,
+		s.Fig6h,
+		s.Fig6i,
+		s.Fig6j,
+		s.Fig6k,
+		s.Fig6l,
+		s.Fig7a,
+		s.Fig7b,
+		s.IsCRTiming,
+		s.Table4,
+		s.Exp5CFP,
+	}
+	var out []*Report
+	for _, run := range runs {
+		rep, err := run()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

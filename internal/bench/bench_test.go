@@ -1,0 +1,144 @@
+package bench_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestAllExperimentsQuick runs the entire suite at reduced scale and
+// sanity-checks the headline shapes the paper reports.
+func TestAllExperimentsQuick(t *testing.T) {
+	s := bench.NewSuite(bench.Quick())
+	reps, err := s.All()
+	if err != nil {
+		t.Fatalf("suite: %v", err)
+	}
+	byID := map[string]*bench.Report{}
+	for _, r := range reps {
+		byID[r.ID] = r
+		t.Logf("\n%s", r)
+	}
+	want := []string{"Fig6a", "Fig6e", "Fig6b", "Fig6f", "Fig6c", "Fig6g",
+		"Fig6d", "Fig6h", "Fig6i", "Fig6j", "Fig6k", "Fig6l",
+		"Fig7a", "Fig7b", "Table4", "Exp5-CFP"}
+	for _, id := range want {
+		if byID[id] == nil {
+			t.Errorf("missing report %s", id)
+		}
+	}
+
+	// Fig6a: a solid majority of entities complete.
+	for _, row := range byID["Fig6a"].Rows {
+		if p := parsePct(t, row[1]); p < 40 || p > 95 {
+			t.Errorf("Fig6a %s: complete = %v%%", row[0], p)
+		}
+	}
+
+	// Fig6e: both > form1 > form2 on each dataset.
+	for _, row := range byID["Fig6e"].Rows {
+		f1, f2, both := parsePct(t, row[1]), parsePct(t, row[2]), parsePct(t, row[3])
+		if !(both > f1 && f1 > f2) {
+			t.Errorf("Fig6e %s: want both>f1>f2, got %v %v %v", row[0], f1, f2, both)
+		}
+	}
+
+	// Fig6b: found rate non-decreasing in k for the "both" column.
+	last := -1.0
+	for _, row := range byID["Fig6b"].Rows {
+		v := parsePct(t, row[3])
+		if v < last-2 { // small sampling noise tolerated
+			t.Errorf("Fig6b: found@k not rising: %v after %v", v, last)
+		}
+		last = v
+	}
+
+	// Fig6c: more master data never hurts much.
+	first := parsePct(t, byID["Fig6c"].Rows[0][1])
+	lastIm := parsePct(t, byID["Fig6c"].Rows[len(byID["Fig6c"].Rows)-1][1])
+	if lastIm+2 < first {
+		t.Errorf("Fig6c: quality dropped with more master data: %v -> %v", first, lastIm)
+	}
+
+	// Fig6d/h: cumulative interaction curve is non-decreasing and ends high.
+	for _, id := range []string{"Fig6d", "Fig6h"} {
+		rows := byID[id].Rows
+		prev := -1.0
+		for _, row := range rows {
+			v := parsePct(t, row[1])
+			if v < prev {
+				t.Errorf("%s: cumulative curve decreased", id)
+			}
+			prev = v
+		}
+		if prev < 70 {
+			t.Errorf("%s: final found rate %v%% too low", id, prev)
+		}
+	}
+
+	// Table4: DeduceOrder precision 1.0; TopKCT(copyCEF) has the best F1;
+	// every F1 beats DeduceOrder's.
+	tbl := byID["Table4"]
+	f1 := map[string]float64{}
+	prec := map[string]float64{}
+	for _, row := range tbl.Rows {
+		p, _ := strconv.ParseFloat(row[1], 64)
+		f, _ := strconv.ParseFloat(row[3], 64)
+		prec[row[0]] = p
+		f1[row[0]] = f
+	}
+	if prec["DeduceOrder"] < 0.99 {
+		t.Errorf("Table4: DeduceOrder precision = %v, want 1.0", prec["DeduceOrder"])
+	}
+	if !(f1["TopKCT (copyCEF pref)"] >= f1["copyCEF"]) {
+		t.Errorf("Table4: TopKCT(copyCEF) F1 %v < copyCEF %v", f1["TopKCT (copyCEF pref)"], f1["copyCEF"])
+	}
+	if !(f1["TopKCT (voting pref)"] >= f1["voting"]) {
+		t.Errorf("Table4: TopKCT(voting) F1 %v < voting %v", f1["TopKCT (voting pref)"], f1["voting"])
+	}
+	if !(f1["voting"] > f1["DeduceOrder"]) {
+		t.Errorf("Table4: voting F1 %v <= DeduceOrder %v", f1["voting"], f1["DeduceOrder"])
+	}
+
+	// Exp5-CFP: TopKCT > voting > DeduceOrder (≈0).
+	cfp := map[string]float64{}
+	for _, row := range byID["Exp5-CFP"].Rows {
+		cfp[row[0]] = parsePct(t, row[1])
+	}
+	if !(cfp["TopKCT (k=1)"] > cfp["voting"]+20 && cfp["voting"] >= cfp["DeduceOrder"]) {
+		t.Errorf("Exp5-CFP ordering wrong: %v", cfp)
+	}
+	if cfp["DeduceOrder"] > 10 {
+		t.Errorf("Exp5-CFP: DeduceOrder should derive ~0%% complete targets, got %v%%", cfp["DeduceOrder"])
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q", s)
+	}
+	return v
+}
+
+// TestReportRendering checks the table formatter.
+func TestReportRendering(t *testing.T) {
+	r := &bench.Report{
+		ID:     "X",
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	out := r.String()
+	if !strings.Contains(out, "== X: demo ==") || !strings.Contains(out, "note: hello") {
+		t.Errorf("rendering wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+}

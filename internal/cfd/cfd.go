@@ -1,0 +1,204 @@
+// Package cfd implements functional dependencies and constant
+// conditional functional dependencies (CFDs, [Fan et al. TODS 2008]),
+// the consistency formalism the paper builds on: Example 1 uses an FD
+// and a constant CFD to show that consistent data can still be
+// inaccurate, and the Remark of Section 2.1 shows how constant CFDs are
+// expressed as form-(2) accuracy rules over a single-tuple master
+// relation, so that the chase also enforces the consistency of the
+// target tuple.
+package cfd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/rule"
+)
+
+// FD is a functional dependency X → Y over a schema.
+type FD struct {
+	Name string
+	LHS  []string
+	RHS  []string
+}
+
+// Validate checks the attribute references.
+func (f *FD) Validate(s *model.Schema) error {
+	if len(f.LHS) == 0 || len(f.RHS) == 0 {
+		return fmt.Errorf("cfd: FD %s must have non-empty sides", f.Name)
+	}
+	for _, a := range append(append([]string(nil), f.LHS...), f.RHS...) {
+		if !s.Has(a) {
+			return fmt.Errorf("cfd: FD %s references unknown attribute %q", f.Name, a)
+		}
+	}
+	return nil
+}
+
+// Violations returns the pairs of tuple indices (i < j) that agree on
+// LHS (with no nulls) but differ on RHS.
+func (f *FD) Violations(ie *model.EntityInstance) [][2]int {
+	var out [][2]int
+	s := ie.Schema()
+	n := ie.Size()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if fdMatch(s, ie.Tuple(i), ie.Tuple(j), f.LHS) && !fdAgree(s, ie.Tuple(i), ie.Tuple(j), f.RHS) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+func fdMatch(s *model.Schema, t1, t2 *model.Tuple, attrs []string) bool {
+	for _, a := range attrs {
+		v1 := t1.At(s.Index(a))
+		v2 := t2.At(s.Index(a))
+		if v1.IsNull() || v2.IsNull() || !v1.Equal(v2) {
+			return false
+		}
+	}
+	return true
+}
+
+func fdAgree(s *model.Schema, t1, t2 *model.Tuple, attrs []string) bool {
+	for _, a := range attrs {
+		if !t1.At(s.Index(a)).Equal(t2.At(s.Index(a))) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the FD as [A, B -> C].
+func (f *FD) String() string {
+	return fmt.Sprintf("[%s -> %s]", strings.Join(f.LHS, ", "), strings.Join(f.RHS, ", "))
+}
+
+// ConstantCFD is a constant conditional functional dependency: whenever
+// a tuple matches every (attribute = constant) pattern on the left, the
+// right attribute must carry the given constant. Example 1's
+// [team = "Chicago Bulls" → arena = "United Center"].
+type ConstantCFD struct {
+	Name string
+	When []Pattern
+	Then Pattern
+}
+
+// Pattern is one (attribute = constant) condition.
+type Pattern struct {
+	Attr string
+	Val  model.Value
+}
+
+// Validate checks the attribute references.
+func (c *ConstantCFD) Validate(s *model.Schema) error {
+	if len(c.When) == 0 {
+		return fmt.Errorf("cfd: CFD %s needs at least one condition", c.Name)
+	}
+	for _, p := range append(append([]Pattern(nil), c.When...), c.Then) {
+		if !s.Has(p.Attr) {
+			return fmt.Errorf("cfd: CFD %s references unknown attribute %q", c.Name, p.Attr)
+		}
+		if p.Val.IsNull() {
+			return fmt.Errorf("cfd: CFD %s uses a null constant", c.Name)
+		}
+	}
+	return nil
+}
+
+// Violations returns the indices of tuples matching When but not Then.
+func (c *ConstantCFD) Violations(ie *model.EntityInstance) []int {
+	var out []int
+	s := ie.Schema()
+	for i, t := range ie.Tuples() {
+		if c.matches(s, t) && !t.At(s.Index(c.Then.Attr)).Equal(c.Then.Val) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (c *ConstantCFD) matches(s *model.Schema, t *model.Tuple) bool {
+	for _, p := range c.When {
+		if !t.At(s.Index(p.Attr)).Equal(p.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the CFD as [team = "x" -> arena = "y"].
+func (c *ConstantCFD) String() string {
+	var conds []string
+	for _, p := range c.When {
+		conds = append(conds, fmt.Sprintf("%s = %s", p.Attr, p.Val.Quote()))
+	}
+	return fmt.Sprintf("[%s -> %s = %s]", strings.Join(conds, ", "), c.Then.Attr, c.Then.Val.Quote())
+}
+
+// Compile expresses a set of constant CFDs over one entity schema as
+// form-(2) accuracy rules plus the synthetic master relation they match
+// against, exactly as the Remark in Section 2.1 describes: one master
+// tuple per CFD carrying the pattern constants, and one rule asserting
+// that a target matching the condition attributes takes the consequence
+// value. The returned master relation and rules can be merged into any
+// specification so the chase also guarantees target consistency.
+func Compile(s *model.Schema, cfds []*ConstantCFD) (*model.MasterRelation, []rule.Rule, error) {
+	// The master schema holds every attribute any CFD mentions.
+	seen := map[string]bool{}
+	var attrs []string
+	for _, c := range cfds {
+		if err := c.Validate(s); err != nil {
+			return nil, nil, err
+		}
+		for _, p := range c.When {
+			if !seen[p.Attr] {
+				seen[p.Attr] = true
+				attrs = append(attrs, p.Attr)
+			}
+		}
+		if !seen[c.Then.Attr] {
+			seen[c.Then.Attr] = true
+			attrs = append(attrs, c.Then.Attr)
+		}
+	}
+	if len(attrs) == 0 {
+		return nil, nil, fmt.Errorf("cfd: no CFDs to compile")
+	}
+	// A discriminator column pins each rule to its own pattern row, so
+	// rules never ground against another CFD's constants.
+	attrs = append([]string{"cfdid"}, attrs...)
+	ms, err := model.NewSchema("cfd_master", attrs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	im := model.NewMasterRelation(ms)
+	var rules []rule.Rule
+	for i, c := range cfds {
+		id := model.S(fmt.Sprintf("cfd-%d", i))
+		row := model.NewTuple(ms)
+		row.Set("cfdid", id)
+		conds := []rule.MasterCond{rule.CondMasterConst("cfdid", id)}
+		for _, p := range c.When {
+			row.Set(p.Attr, p.Val)
+			// te[A] must match the pattern constant held by this row.
+			conds = append(conds, rule.CondMaster(p.Attr, p.Attr))
+		}
+		row.Set(c.Then.Attr, c.Then.Val)
+		im.MustAdd(row)
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("cfd%d", i)
+		}
+		rules = append(rules, &rule.Form2{
+			RuleName:   name,
+			Conds:      conds,
+			TargetAttr: c.Then.Attr,
+			MasterAttr: c.Then.Attr,
+		})
+	}
+	return im, rules, nil
+}

@@ -1,0 +1,163 @@
+package cfd_test
+
+import (
+	"testing"
+
+	"repro/internal/cfd"
+	"repro/internal/chase"
+	"repro/internal/model"
+	"repro/internal/paperdata"
+	"repro/internal/rule"
+)
+
+// paperFD is Example 1's FD: [FN, MN, LN, league, rnds → totalPts].
+func paperFD() *cfd.FD {
+	return &cfd.FD{
+		Name: "fd1",
+		LHS:  []string{"FN", "MN", "LN", "league", "rnds"},
+		RHS:  []string{"totalPts"},
+	}
+}
+
+// paperCFD is Example 1's CFD: [team = "Chicago Bulls" → arena = "United Center"].
+func paperCFD() *cfd.ConstantCFD {
+	return &cfd.ConstantCFD{
+		Name: "psi",
+		When: []cfd.Pattern{{Attr: "team", Val: model.S("Chicago Bulls")}},
+		Then: cfd.Pattern{Attr: "arena", Val: model.S("United Center")},
+	}
+}
+
+// TestPaperExample1Consistent: the stat data of Table 1 satisfies both
+// constraints — consistent yet inaccurate, the paper's opening point.
+func TestPaperExample1Consistent(t *testing.T) {
+	ie := paperdata.Stat()
+	if err := paperFD().Validate(ie.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if v := paperFD().Violations(ie); len(v) != 0 {
+		t.Errorf("FD violations on stat: %v", v)
+	}
+	if err := paperCFD().Validate(ie.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if v := paperCFD().Violations(ie); len(v) != 0 {
+		t.Errorf("CFD violations on stat: %v", v)
+	}
+}
+
+func TestFDViolationDetected(t *testing.T) {
+	s := model.MustSchema("r", "a", "b")
+	ie := model.NewEntityInstance(s)
+	ie.MustAdd(model.MustTuple(s, model.S("k"), model.I(1)))
+	ie.MustAdd(model.MustTuple(s, model.S("k"), model.I(2)))
+	fd := &cfd.FD{Name: "f", LHS: []string{"a"}, RHS: []string{"b"}}
+	if v := fd.Violations(ie); len(v) != 1 || v[0] != [2]int{0, 1} {
+		t.Errorf("violations = %v", v)
+	}
+	// Null LHS values never match.
+	ie2 := model.NewEntityInstance(s)
+	ie2.MustAdd(model.MustTuple(s, model.NullValue(), model.I(1)))
+	ie2.MustAdd(model.MustTuple(s, model.NullValue(), model.I(2)))
+	if v := fd.Violations(ie2); len(v) != 0 {
+		t.Errorf("null LHS should not match: %v", v)
+	}
+}
+
+func TestCFDViolationDetected(t *testing.T) {
+	ie := paperdata.Stat()
+	wrong := &cfd.ConstantCFD{
+		Name: "w",
+		When: []cfd.Pattern{{Attr: "team", Val: model.S("Chicago Bulls")}},
+		Then: cfd.Pattern{Attr: "arena", Val: model.S("Regions Park")},
+	}
+	if v := wrong.Violations(ie); len(v) != 2 { // t2 and t3
+		t.Errorf("violations = %v", v)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := model.MustSchema("r", "a")
+	bad := &cfd.FD{Name: "f", LHS: []string{"zz"}, RHS: []string{"a"}}
+	if err := bad.Validate(s); err == nil {
+		t.Errorf("unknown attribute should fail")
+	}
+	if err := (&cfd.FD{Name: "f"}).Validate(s); err == nil {
+		t.Errorf("empty FD should fail")
+	}
+	badC := &cfd.ConstantCFD{When: []cfd.Pattern{{Attr: "a", Val: model.NullValue()}}, Then: cfd.Pattern{Attr: "a", Val: model.S("x")}}
+	if err := badC.Validate(s); err == nil {
+		t.Errorf("null constant should fail")
+	}
+}
+
+// TestCompileIntoChase reproduces the Remark of Section 2.1: compiling
+// the paper's CFD and chasing with it forces te[arena] once te[team] is
+// known.
+func TestCompileIntoChase(t *testing.T) {
+	ie := paperdata.Stat()
+	im, rules, err := cfd.Compile(ie.Schema(), []*cfd.ConstantCFD{paperCFD()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use only the CFD rules plus a template that fixes team.
+	rs, err := rule.NewSet(ie.Schema(), im.Schema(), rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := chase.NewGrounding(chase.Spec{Ie: ie, Im: im, Rules: rs}, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := model.NewTuple(ie.Schema())
+	tpl.Set("team", model.S("Chicago Bulls"))
+	res := g.Run(tpl)
+	if !res.CR {
+		t.Fatalf("not CR: %s", res.Conflict)
+	}
+	if v, _ := res.Target.Get("arena"); !v.Equal(model.S("United Center")) {
+		t.Errorf("te[arena] = %v, want United Center", v)
+	}
+	// A template contradicting the CFD must be rejected.
+	bad := model.NewTuple(ie.Schema())
+	bad.Set("team", model.S("Chicago Bulls"))
+	bad.Set("arena", model.S("Regions Park"))
+	if res := g.Run(bad); res.CR {
+		t.Errorf("CFD-violating template should fail the chase")
+	}
+}
+
+// TestCompileMultipleCFDs: two CFDs with overlapping attributes do not
+// cross-contaminate thanks to the discriminator.
+func TestCompileMultipleCFDs(t *testing.T) {
+	s := model.MustSchema("r", "team", "arena", "city")
+	c1 := &cfd.ConstantCFD{
+		When: []cfd.Pattern{{Attr: "team", Val: model.S("A")}},
+		Then: cfd.Pattern{Attr: "arena", Val: model.S("ArenaA")},
+	}
+	c2 := &cfd.ConstantCFD{
+		When: []cfd.Pattern{{Attr: "team", Val: model.S("B")}},
+		Then: cfd.Pattern{Attr: "arena", Val: model.S("ArenaB")},
+	}
+	im, rules, err := cfd.Compile(s, []*cfd.ConstantCFD{c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Size() != 2 || len(rules) != 2 {
+		t.Fatalf("compiled %d rows, %d rules", im.Size(), len(rules))
+	}
+	ie := model.NewEntityInstance(s)
+	ie.MustAdd(model.MustTuple(s, model.S("B"), model.NullValue(), model.S("x")))
+	rs := rule.MustSet(s, im.Schema(), rules...)
+	g, err := chase.NewGrounding(chase.Spec{Ie: ie, Im: im, Rules: rs}, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.Run(nil)
+	if !res.CR {
+		t.Fatalf("not CR: %s", res.Conflict)
+	}
+	if v, _ := res.Target.Get("arena"); !v.Equal(model.S("ArenaB")) {
+		t.Errorf("te[arena] = %v, want ArenaB", v)
+	}
+}

@@ -1,0 +1,758 @@
+// Package chase implements the inference system for relative accuracy of
+// Sections 2.2, 3 and 5 of the paper: a chase procedure that applies
+// accuracy rules to an entity instance, the IsCR algorithm that decides
+// the Church-Rosser property, and the computation of the deduced target
+// tuple.
+//
+// # Semantics
+//
+// A specification S = (D0, Σ, Im, te0) fixes an entity instance Ie with
+// initially empty accuracy orders, a rule set Σ, optional master data Im
+// and an initial target template te0 (all null, or a candidate tuple when
+// verifying candidates). A chase step either extends one attribute's
+// order ⪯Ai with a pair and recomputes te[Ai] via the λ (maximum)
+// function, or instantiates te[Ai] from a master tuple. A step is valid
+// when it creates no order conflict (t1 ⪯ t2 ∧ t2 ⪯ t1 with
+// t1[Ai] ≠ t2[Ai]) and never changes a non-null te value.
+//
+// Run simulates one maximal chase sequence, enforcing every rule
+// consequence as soon as its premises hold. The specification is
+// reported Church-Rosser exactly when no enforceable step is invalid,
+// which by Theorem 2 of the paper (stability of a terminal chasing
+// sequence) coincides with all chase orders reaching the same terminal
+// instance. This is the check performed by algorithm IsCR (Fig. 4); it
+// is also the `check` used to validate candidate targets in the top-k
+// algorithms (Section 6.1), obtained by passing a complete template.
+//
+// The axioms ϕ7 (null has lowest accuracy), ϕ8 (the te value has highest
+// accuracy) and ϕ9 (equal values are mutually ⪯), which the paper
+// includes in every rule set, are implemented natively: ϕ7/ϕ9 seed the
+// initial orders, and ϕ8 fires whenever a target attribute becomes
+// known.
+//
+// # Performance
+//
+// NewGrounding performs the paper's Instantiation preprocessing once: it
+// partially evaluates every rule on every tuple pair (and every master
+// tuple), materialising only steps with unresolved premises, indexed by
+// the facts that complete them (the structure H of Section 5, with
+// counters nφ and trigger sets Φδ). Rules whose body is a single order
+// predicate plus value comparisons — the common "correlated attribute"
+// shape like ϕ2, ϕ4, ϕ5 — are compiled to attribute-level propagation
+// triggers instead of n² ground steps. All template-independent
+// consequences are chased once into a base state, so each Run only
+// replays template-dependent work; this is what makes the thousands of
+// candidate checks issued by the top-k algorithms affordable.
+package chase
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/order"
+	"repro/internal/rule"
+)
+
+// Spec is a specification S = (D0, Σ, Im, te0) minus the target
+// template, which is supplied per Run.
+type Spec struct {
+	// Ie is the entity instance; it is never mutated by the chase.
+	Ie *model.EntityInstance
+	// Im is the master relation; nil means no master data.
+	Im *model.MasterRelation
+	// Rules is the rule set Σ (axioms excluded; they are built in).
+	Rules *rule.Set
+}
+
+// Options configures grounding.
+type Options struct {
+	// DisableAxioms turns off the built-in axioms ϕ7–ϕ9. The paper
+	// includes them in every rule set; disabling is intended for tests
+	// that exercise the bare rule semantics.
+	DisableAxioms bool
+}
+
+// Result is the outcome of running the chase to termination.
+type Result struct {
+	// CR reports whether the specification (with the given template) is
+	// Church-Rosser: no enforceable chase step was invalid.
+	CR bool
+	// Conflict describes the first invalid step when CR is false.
+	Conflict string
+	// Target is the deduced target tuple (meaningful when CR).
+	Target *model.Tuple
+	// Orders are the terminal accuracy orders (meaningful when CR).
+	Orders *order.Set
+	// Steps counts the residual ground steps enforced during this run.
+	// Most chase work does not appear here: template-independent steps
+	// are folded into the shared base state at grounding time, and the
+	// built-in axioms, correlation propagations and master lookups run
+	// through dedicated paths.
+	Steps int
+}
+
+// Complete reports whether the run deduced a complete target.
+func (r *Result) Complete() bool { return r.CR && r.Target.Complete() }
+
+// residKind distinguishes the two trigger kinds of the index H.
+type residKind uint8
+
+const (
+	residOrder  residKind = iota // the fact ti ⪯attr tj
+	residTarget                  // the fact te[attr] op val
+)
+
+// resid is one unresolved premise of a ground step.
+type resid struct {
+	kind residKind
+	attr int32
+	i, j int32 // order fact
+	op   rule.Op
+	val  model.Value // target comparison operand
+}
+
+// groundStep is one partially evaluated rule application φ ∈ Γ.
+type groundStep struct {
+	ruleName string
+	isTarget bool
+	attr     int32
+	i, j     int32       // order consequence: ti ⪯attr tj
+	val      model.Value // target consequence: te[attr] = val
+	preds    []resid
+}
+
+// predRef locates one premise inside one ground step.
+type predRef struct {
+	step int32
+	pred int32
+}
+
+// form2Entry is one (form-2 rule, master row) pair awaiting its
+// conditions.
+type form2Entry struct {
+	ruleIdx int32
+	rowIdx  int32
+}
+
+// form2Key indexes a pending condition te[attr] = want.
+type form2Key struct {
+	attr int32
+	key  string
+}
+
+// compiledForm2 is a form-(2) rule with attribute references resolved to
+// positions.
+type compiledForm2 struct {
+	name  string
+	conds []compiledCond
+	tgt   int32 // entity schema position of the consequence attribute
+	src   int32 // master schema position of the consequence source
+}
+
+// compiledCond is one te[A] = X condition with resolved positions
+// (OnMaster conditions are folded away at grounding).
+type compiledCond struct {
+	attr      int32 // entity schema position of A
+	isConst   bool
+	c         model.Value
+	masterIdx int32 // master schema position of B' when not constant
+}
+
+// form2Index is the lazily-grounded form-(2) rule state. It depends only
+// on the entity schema, the master relation and the rule set — not on
+// the entity instance — so it is memoised and shared across the many
+// per-entity groundings a dataset run creates.
+type form2Index struct {
+	rules []compiledForm2
+	trig  map[form2Key][]form2Entry
+	zero  []form2Entry // condition-free entries, enforced at Run start
+}
+
+// form2Memo is a single-slot cache of the last form2Index built,
+// keyed by pointer identity of its inputs.
+var form2Memo struct {
+	sync.Mutex
+	schema *model.Schema
+	im     *model.MasterRelation
+	rules  *rule.Set
+	idx    *form2Index
+}
+
+// form2IndexFor returns the (possibly cached) form-2 index.
+func form2IndexFor(schema *model.Schema, im *model.MasterRelation, rules *rule.Set) *form2Index {
+	form2Memo.Lock()
+	if form2Memo.idx != nil && form2Memo.schema == schema &&
+		form2Memo.im == im && form2Memo.rules == rules {
+		idx := form2Memo.idx
+		form2Memo.Unlock()
+		return idx
+	}
+	form2Memo.Unlock()
+
+	idx := &form2Index{trig: make(map[form2Key][]form2Entry)}
+	for _, r := range rules.Rules() {
+		if f, ok := r.(*rule.Form2); ok {
+			idx.ground(schema, im, f)
+		}
+	}
+	form2Memo.Lock()
+	form2Memo.schema, form2Memo.im, form2Memo.rules, form2Memo.idx = schema, im, rules, idx
+	form2Memo.Unlock()
+	return idx
+}
+
+// corrRule is a compiled correlated-attribute rule: when a pair is
+// derived on fromAttr (strict: and the values differ), and the extra
+// value predicates hold on the pair, the same pair is derived on toAttr.
+type corrRule struct {
+	ruleName string
+	fromAttr int32
+	toAttr   int32
+	strict   bool
+	extra    []rule.Pred // tuple/const comparison predicates only
+}
+
+// Grounding is the reusable, immutable product of Instantiation plus the
+// template-independent base chase. Create one with NewGrounding; run the
+// template-dependent part with Run.
+type Grounding struct {
+	ie        *model.EntityInstance
+	im        *model.MasterRelation
+	rules     *rule.Set
+	schema    *model.Schema
+	n         int // |Ie|
+	nattr     int
+	useAxioms bool
+
+	valKey      [][]string         // [attr][tuple] equality key ("" for null)
+	isNull      [][]bool           // [attr][tuple]
+	valueGroups []map[string][]int // [attr][value key] -> tuple indices
+	vals        [][]model.Value    // [attr][tuple]
+
+	steps      []groundStep
+	orderTrig  map[uint64][]predRef
+	targetTrig [][]predRef // [attr] -> premises te[attr] op v (form-1 only)
+	corrs      [][]corrRule
+
+	// Form-(2) rules are grounded lazily: each (rule, master row) pair
+	// waits on its first unmet condition, indexed by (attr, value key);
+	// when te[attr] takes that exact value the entry advances to its
+	// next unmet condition or fires. This keeps Instantiation linear in
+	// |Im| without materialising a ground step per master tuple, and
+	// target-assignment triggers O(matching rows) instead of O(|Im|).
+	form2 *form2Index
+
+	baseOrders   *order.Set
+	baseCounts   [][]int32
+	baseNpred    []int32
+	basePushed   []bool
+	baseSteps    int
+	baseConflict string
+}
+
+// NewGrounding validates the rules, performs Instantiation and chases
+// all template-independent consequences into a base state.
+func NewGrounding(spec Spec, opts Options) (*Grounding, error) {
+	if spec.Ie == nil {
+		return nil, fmt.Errorf("chase: specification has no entity instance")
+	}
+	var rm *model.Schema
+	if spec.Im != nil {
+		rm = spec.Im.Schema()
+	}
+	for _, r := range spec.Rules.Rules() {
+		if err := r.Validate(spec.Ie.Schema(), rm); err != nil {
+			return nil, err
+		}
+	}
+	g := &Grounding{
+		ie:        spec.Ie,
+		im:        spec.Im,
+		rules:     spec.Rules,
+		schema:    spec.Ie.Schema(),
+		n:         spec.Ie.Size(),
+		nattr:     spec.Ie.Schema().Arity(),
+		useAxioms: !opts.DisableAxioms,
+		orderTrig: make(map[uint64][]predRef),
+	}
+	if spec.Im != nil {
+		g.form2 = form2IndexFor(g.schema, spec.Im, spec.Rules)
+	} else {
+		g.form2 = &form2Index{}
+	}
+	g.indexValues()
+	zeroPairs := g.ground()
+	g.baseChase(zeroPairs)
+	return g, nil
+}
+
+// Instance returns the entity instance the grounding was built for.
+func (g *Grounding) Instance() *model.EntityInstance { return g.ie }
+
+// Master returns the master relation (possibly nil).
+func (g *Grounding) Master() *model.MasterRelation { return g.im }
+
+// Schema returns the entity schema.
+func (g *Grounding) Schema() *model.Schema { return g.schema }
+
+// GroundSteps returns |Γ|, the number of materialised ground steps
+// (zero-premise order steps are folded into the base state and not
+// counted).
+func (g *Grounding) GroundSteps() int { return len(g.steps) }
+
+func (g *Grounding) trigKey(attr, i, j int32) uint64 {
+	n := uint64(g.n)
+	return (uint64(attr)*n+uint64(i))*n + uint64(j)
+}
+
+func (g *Grounding) indexValues() {
+	n, na := g.n, g.nattr
+	g.valKey = make([][]string, na)
+	g.isNull = make([][]bool, na)
+	g.vals = make([][]model.Value, na)
+	g.valueGroups = make([]map[string][]int, na)
+	g.targetTrig = make([][]predRef, na)
+	g.corrs = make([][]corrRule, na)
+	for a := 0; a < na; a++ {
+		g.valKey[a] = make([]string, n)
+		g.isNull[a] = make([]bool, n)
+		g.vals[a] = make([]model.Value, n)
+		g.valueGroups[a] = make(map[string][]int)
+		for i := 0; i < n; i++ {
+			v := g.ie.Value(i, a)
+			g.vals[a][i] = v
+			if v.IsNull() {
+				g.isNull[a][i] = true
+				g.valKey[a][i] = ""
+				continue
+			}
+			k := v.Key()
+			g.valKey[a][i] = k
+			g.valueGroups[a][k] = append(g.valueGroups[a][k], i)
+		}
+	}
+}
+
+func (g *Grounding) valEq(attr, i, j int32) bool {
+	return g.valKey[attr][i] == g.valKey[attr][j] && !g.isNull[attr][i] && !g.isNull[attr][j] ||
+		g.isNull[attr][i] && g.isNull[attr][j]
+}
+
+// packedPair is a zero-premise order consequence produced by grounding.
+type packedPair struct {
+	attr, i, j int32
+}
+
+// ground performs Instantiation: it materialises residual ground steps,
+// registers triggers and correlation rules, and returns the
+// zero-premise order pairs to seed the base chase with. Zero pairs are
+// deduplicated across rules (rule sets often contain several rules with
+// the same consequence, per the paper's Exp setup), which bounds their
+// number by #attrs·|Ie|².
+func (g *Grounding) ground() []packedPair {
+	var zero []packedPair
+	seen := newPairSet(g.nattr, g.n)
+	for _, r := range g.rules.Rules() {
+		switch f := r.(type) {
+		case *rule.Form1:
+			if cr, ok := g.compileCorr(f); ok {
+				g.corrs[cr.fromAttr] = append(g.corrs[cr.fromAttr], cr)
+				continue
+			}
+			zero = g.groundForm1(f, zero, seen)
+		case *rule.Form2:
+			// Handled by the shared form2Index.
+		}
+	}
+	return zero
+}
+
+// pairSet is a bitset over (attr, i, j) triples.
+type pairSet struct {
+	n    int
+	bits []uint64
+}
+
+func newPairSet(attrs, n int) *pairSet {
+	return &pairSet{n: n, bits: make([]uint64, (attrs*n*n+63)/64)}
+}
+
+// insert reports whether the triple was newly added.
+func (ps *pairSet) insert(attr, i, j int32) bool {
+	idx := (uint64(attr)*uint64(ps.n)+uint64(i))*uint64(ps.n) + uint64(j)
+	w, b := idx>>6, uint64(1)<<(idx&63)
+	if ps.bits[w]&b != 0 {
+		return false
+	}
+	ps.bits[w] |= b
+	return true
+}
+
+// compileCorr recognises the correlated-attribute rule shape: exactly
+// one order predicate, no target references, and any number of
+// tuple/constant comparisons.
+func (g *Grounding) compileCorr(f *rule.Form1) (corrRule, bool) {
+	var orderPreds []rule.Pred
+	var extra []rule.Pred
+	for _, p := range f.LHS {
+		switch p.Kind {
+		case rule.OrderPred:
+			orderPreds = append(orderPreds, p)
+		case rule.CmpPred:
+			if p.Left.Kind == rule.TargetAttr || p.Right.Kind == rule.TargetAttr {
+				return corrRule{}, false
+			}
+			extra = append(extra, p)
+		}
+	}
+	if len(orderPreds) != 1 {
+		return corrRule{}, false
+	}
+	op := orderPreds[0]
+	return corrRule{
+		ruleName: f.RuleName,
+		fromAttr: int32(g.schema.Index(op.Attr)),
+		toAttr:   int32(g.schema.Index(f.RHS)),
+		strict:   op.Strict,
+		extra:    extra,
+	}, true
+}
+
+// evalCmpOnPair evaluates a tuple/constant comparison predicate on the
+// ordered tuple pair (i, j) standing for (t1, t2).
+func (g *Grounding) evalCmpOnPair(p rule.Pred, i, j int32) bool {
+	get := func(o rule.Operand) model.Value {
+		switch o.Kind {
+		case rule.Const:
+			return o.Val
+		case rule.TupleAttr:
+			a := int32(g.schema.Index(o.Attr))
+			if o.Tup == 1 {
+				return g.vals[a][i]
+			}
+			return g.vals[a][j]
+		}
+		return model.NullValue()
+	}
+	return p.Op.Eval(get(p.Left), get(p.Right))
+}
+
+func (g *Grounding) groundForm1(f *rule.Form1, zero []packedPair, seen *pairSet) []packedPair {
+	rhs := int32(g.schema.Index(f.RHS))
+	n := int32(g.n)
+	for i := int32(0); i < n; i++ {
+	pairs:
+		for j := int32(0); j < n; j++ {
+			var preds []resid
+			for _, p := range f.LHS {
+				switch p.Kind {
+				case rule.OrderPred:
+					a := int32(g.schema.Index(p.Attr))
+					if p.Strict && g.valEq(a, i, j) {
+						continue pairs // ≺ can never hold between equal values
+					}
+					preds = append(preds, resid{kind: residOrder, attr: a, i: i, j: j})
+				case rule.CmpPred:
+					tp, isTarget, sat := g.foldCmp(p, i, j)
+					if isTarget {
+						if tp.val.IsNull() && tp.op != rule.Ne {
+							continue pairs // te[A] op null can never be satisfied
+						}
+						preds = append(preds, tp)
+					} else if !sat {
+						continue pairs
+					}
+				}
+			}
+			if len(preds) == 0 {
+				if seen.insert(rhs, i, j) {
+					zero = append(zero, packedPair{attr: rhs, i: i, j: j})
+				}
+				continue
+			}
+			g.addStep(groundStep{ruleName: f.RuleName, attr: rhs, i: i, j: j, preds: preds})
+		}
+	}
+	return zero
+}
+
+// foldCmp partially evaluates a comparison predicate on the pair (i, j).
+// If it references the target template it returns a target premise
+// (isTarget true); otherwise it returns the truth value (sat).
+func (g *Grounding) foldCmp(p rule.Pred, i, j int32) (tp resid, isTarget, sat bool) {
+	eval := func(o rule.Operand) model.Value {
+		switch o.Kind {
+		case rule.Const:
+			return o.Val
+		case rule.TupleAttr:
+			a := int32(g.schema.Index(o.Attr))
+			if o.Tup == 1 {
+				return g.vals[a][i]
+			}
+			return g.vals[a][j]
+		}
+		return model.NullValue()
+	}
+	switch {
+	case p.Left.Kind == rule.TargetAttr:
+		a := int32(g.schema.Index(p.Left.Attr))
+		return resid{kind: residTarget, attr: a, op: p.Op, val: eval(p.Right)}, true, false
+	case p.Right.Kind == rule.TargetAttr:
+		a := int32(g.schema.Index(p.Right.Attr))
+		return resid{kind: residTarget, attr: a, op: p.Op.Flip(), val: eval(p.Left)}, true, false
+	default:
+		return resid{}, false, p.Op.Eval(eval(p.Left), eval(p.Right))
+	}
+}
+
+func (ix *form2Index) ground(schema *model.Schema, im *model.MasterRelation, f *rule.Form2) {
+	rm := im.Schema()
+	cf := compiledForm2{
+		name: f.RuleName,
+		tgt:  int32(schema.Index(f.TargetAttr)),
+		src:  int32(rm.Index(f.MasterAttr)),
+	}
+	var onMaster []rule.MasterCond
+	for _, c := range f.Conds {
+		if c.OnMaster {
+			onMaster = append(onMaster, c)
+			continue
+		}
+		cc := compiledCond{attr: int32(schema.Index(c.TargetAttr)), isConst: c.IsConst, c: c.Const}
+		if !c.IsConst {
+			cc.masterIdx = int32(rm.Index(c.MasterAttr))
+		}
+		cf.conds = append(cf.conds, cc)
+	}
+	ruleIdx := int32(len(ix.rules))
+	ix.rules = append(ix.rules, cf)
+
+	for rowIdx, tm := range im.Tuples() {
+		if tm.At(int(cf.src)).IsNull() {
+			continue // cannot instantiate te with null
+		}
+		ok := true
+		for _, c := range onMaster {
+			// tm[B] = c folds on the concrete master tuple.
+			if !tm.At(rm.Index(c.MasterAttr)).Equal(c.Const) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		entry := form2Entry{ruleIdx: ruleIdx, rowIdx: int32(rowIdx)}
+		attr, want, pending := ix.nextCond(im, entry, nil)
+		switch {
+		case !pending:
+			ix.zero = append(ix.zero, entry)
+		case attr < 0:
+			// A condition can never be satisfied (null master value).
+		default:
+			ix.trig[form2Key{attr, want.Key()}] = append(
+				ix.trig[form2Key{attr, want.Key()}], entry)
+		}
+	}
+}
+
+// form2NextCond finds the first condition of entry not yet satisfied by
+// te (nil te means nothing is known). It returns pending=false when all
+// conditions hold, and the sentinel attr == -1 when some condition can
+// never hold (a null master value, or a te value that already differs).
+func (ix *form2Index) nextCond(im *model.MasterRelation, e form2Entry, te *model.Tuple) (attr int32, want model.Value, pending bool) {
+	f := &ix.rules[e.ruleIdx]
+	tm := im.Tuple(int(e.rowIdx))
+	for _, c := range f.conds {
+		w := c.c
+		if !c.isConst {
+			w = tm.At(int(c.masterIdx))
+		}
+		if w.IsNull() {
+			return -1, model.Value{}, true // never satisfiable
+		}
+		if te == nil {
+			return c.attr, w, true
+		}
+		cur := te.At(int(c.attr))
+		if cur.IsNull() {
+			return c.attr, w, true
+		}
+		if !cur.Equal(w) {
+			return -1, model.Value{}, true // mismatch: dead entry
+		}
+	}
+	return 0, model.Value{}, false
+}
+
+// consequence yields a fully matched entry's consequence.
+func (ix *form2Index) consequence(im *model.MasterRelation, e form2Entry) (attr int32, val model.Value) {
+	f := &ix.rules[e.ruleIdx]
+	return f.tgt, im.Tuple(int(e.rowIdx)).At(int(f.src))
+}
+
+func (g *Grounding) addStep(st groundStep) {
+	idx := int32(len(g.steps))
+	g.steps = append(g.steps, st)
+	for pi, p := range st.preds {
+		ref := predRef{step: idx, pred: int32(pi)}
+		switch p.kind {
+		case residOrder:
+			k := g.trigKey(p.attr, p.i, p.j)
+			g.orderTrig[k] = append(g.orderTrig[k], ref)
+		case residTarget:
+			g.targetTrig[p.attr] = append(g.targetTrig[p.attr], ref)
+		}
+	}
+}
+
+// baseChase builds the initial axiom state and chases every
+// template-independent consequence (zero-premise pairs, order-triggered
+// steps, correlation cascades) into the base snapshot reused by Run.
+func (g *Grounding) baseChase(zeroPairs []packedPair) {
+	e := newEngine(g, true)
+	// Seed the axiom state ϕ7 + ϕ9.
+	if g.useAxioms {
+		for a := 0; a < g.nattr; a++ {
+			rel := e.orders.Attr(a)
+			var nulls, nonNulls []int
+			for i := 0; i < g.n; i++ {
+				if g.isNull[a][i] {
+					nulls = append(nulls, i)
+				} else {
+					nonNulls = append(nonNulls, i)
+				}
+			}
+			for _, grp := range g.sortedGroups(a) {
+				rel.SetClique(grp)
+			}
+			rel.SetClique(nulls)
+			rel.SetBelow(nulls, nonNulls)
+		}
+	}
+	// Derive column counts of the seeded state.
+	for a := 0; a < g.nattr; a++ {
+		for j, c := range e.orders.Attr(a).ColumnCounts() {
+			e.counts[a][j] = int32(c)
+		}
+	}
+	// Fire order triggers already satisfied by the seeded state, in
+	// deterministic key order.
+	keys := make([]uint64, 0, len(g.orderTrig))
+	for k := range g.orderTrig {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	n := uint64(g.n)
+	for _, k := range keys {
+		attr := int32(k / (n * n))
+		i := int32(k / n % n)
+		j := int32(k % n)
+		if e.orders.Attr(int(attr)).Has(int(i), int(j)) {
+			e.fireOrderKey(k)
+		}
+	}
+	// Fire correlation rules on the seeded pairs.
+	for a := 0; a < g.nattr; a++ {
+		if len(g.corrs[a]) == 0 {
+			continue
+		}
+		aa := int32(a)
+		e.orders.Attr(a).VisitPairs(func(i, j int) {
+			e.fireCorr(aa, int32(i), int32(j))
+		})
+	}
+	// Seed zero-premise pairs and already-complete order steps.
+	for _, p := range zeroPairs {
+		e.pushPair(p.attr, p.i, p.j)
+	}
+	for s := range g.steps {
+		if e.npred[s] == 0 && !g.steps[s].isTarget {
+			e.pushStep(int32(s))
+		}
+	}
+	e.drain()
+	g.baseOrders = e.orders
+	g.baseCounts = e.counts
+	g.baseNpred = e.npred
+	g.basePushed = e.pushed
+	g.baseSteps = e.stepsApplied
+	g.baseConflict = e.conflict
+}
+
+// sortedGroups returns the value groups of attribute a in a
+// deterministic order (by smallest member index).
+func (g *Grounding) sortedGroups(a int) [][]int {
+	groups := make([][]int, 0, len(g.valueGroups[a]))
+	for _, grp := range g.valueGroups[a] {
+		groups = append(groups, grp)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}
+
+// Run chases the specification with the given initial target template
+// and returns the terminal instance. A nil template stands for the
+// all-null template of the initial accuracy instance; a complete
+// template makes Run the candidate-target check of Section 6.1.
+// The grounding is not mutated; Run is safe for sequential reuse.
+func (g *Grounding) Run(template *model.Tuple) *Result {
+	if g.baseConflict != "" {
+		return &Result{CR: false, Conflict: g.baseConflict}
+	}
+	e := newRunEngine(g)
+	if template != nil {
+		for a := 0; a < g.nattr; a++ {
+			if v := template.At(a); !v.IsNull() {
+				e.pushTarget(int32(a), v)
+			}
+		}
+	}
+	// λ on the base state: columns that are already maximal define te.
+	// A single tuple is vacuously maximal, but λ only applies once some
+	// chase step has touched the attribute's order, so for n == 1 we
+	// require the (reflexive) evidence of a step (axiom ϕ9 provides it).
+	for a := 0; a < g.nattr; a++ {
+		for j := 0; j < g.n; j++ {
+			if e.counts[a][j] == int32(g.n-1) && (g.n > 1 || g.baseOrders.Attr(a).Has(j, j)) {
+				if v := g.vals[a][j]; !v.IsNull() {
+					e.pushTarget(int32(a), v)
+				}
+			}
+		}
+	}
+	for _, entry := range g.form2.zero {
+		attr, val := g.form2.consequence(g.im, entry)
+		e.pushTarget(attr, val)
+	}
+	for s := range g.steps {
+		if e.npred[s] == 0 && !e.pushed[s] {
+			e.pushStep(int32(s))
+		}
+	}
+	e.drain()
+	res := &Result{
+		CR:       e.conflict == "",
+		Conflict: e.conflict,
+		Steps:    e.stepsApplied,
+	}
+	if res.CR {
+		res.Target = e.te
+		res.Orders = e.orders
+	}
+	return res
+}
+
+// Deduce is the convenience entry point matching the paper's IsCR: it
+// grounds the specification and runs the chase from the all-null
+// template. It returns the terminal instance when S is Church-Rosser
+// and a Result with CR == false otherwise.
+func Deduce(spec Spec, opts Options) (*Result, error) {
+	g, err := NewGrounding(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return g.Run(nil), nil
+}

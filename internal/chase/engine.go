@@ -1,0 +1,315 @@
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/order"
+)
+
+// eventKind tags worklist entries.
+type eventKind uint8
+
+const (
+	evPair   eventKind = iota // derive ti ⪯attr tj
+	evTarget                  // instantiate te[attr] = val
+	evStep                    // enforce ground step idx
+)
+
+type event struct {
+	kind eventKind
+	attr int32
+	i, j int32
+	idx  int32
+	val  model.Value
+}
+
+// engine is the mutable chase state shared by the base chase and by
+// per-template runs. It processes a FIFO worklist of events, each of
+// which is one (possibly built-in) chase step enforced atomically.
+type engine struct {
+	g    *Grounding
+	base bool // base mode: template-independent only — no te, no λ, no ϕ8
+
+	orders *order.Set
+	counts [][]int32 // per attr: for each j, #{i≠j : i ⪯ j}
+	te     *model.Tuple
+	npred  []int32
+	dead   []bool
+	pushed []bool
+	// form2More holds per-run re-registrations of form-2 entries that
+	// advanced past their first condition (the grounding's form2Trig is
+	// immutable and shared across runs).
+	form2More map[form2Key][]form2Entry
+
+	queue []event
+	head  int
+
+	conflict     string
+	stepsApplied int
+}
+
+// newEngine creates a fresh engine over empty orders (base mode).
+func newEngine(g *Grounding, base bool) *engine {
+	e := &engine{
+		g:      g,
+		base:   base,
+		orders: order.NewSet(g.nattr, g.n),
+		counts: make([][]int32, g.nattr),
+		npred:  make([]int32, len(g.steps)),
+		dead:   make([]bool, len(g.steps)),
+		pushed: make([]bool, len(g.steps)),
+	}
+	for a := range e.counts {
+		e.counts[a] = make([]int32, g.n)
+	}
+	for s := range g.steps {
+		e.npred[s] = int32(len(g.steps[s].preds))
+	}
+	return e
+}
+
+// newRunEngine creates an engine that continues from the grounding's
+// base snapshot.
+func newRunEngine(g *Grounding) *engine {
+	e := &engine{
+		g:      g,
+		orders: g.baseOrders.Clone(),
+		counts: make([][]int32, g.nattr),
+		te:     model.NewTuple(g.schema),
+		npred:  append([]int32(nil), g.baseNpred...),
+		dead:   make([]bool, len(g.steps)),
+		pushed: append([]bool(nil), g.basePushed...),
+	}
+	for a := range e.counts {
+		e.counts[a] = append([]int32(nil), g.baseCounts[a]...)
+	}
+	return e
+}
+
+func (e *engine) pushPair(attr, i, j int32) {
+	e.queue = append(e.queue, event{kind: evPair, attr: attr, i: i, j: j})
+}
+
+func (e *engine) pushTarget(attr int32, v model.Value) {
+	e.queue = append(e.queue, event{kind: evTarget, attr: attr, val: v})
+}
+
+func (e *engine) pushStep(s int32) {
+	if e.pushed[s] {
+		return
+	}
+	e.pushed[s] = true
+	e.queue = append(e.queue, event{kind: evStep, idx: s})
+}
+
+// drain processes the worklist to exhaustion or to the first conflict.
+func (e *engine) drain() {
+	for e.head < len(e.queue) && e.conflict == "" {
+		ev := e.queue[e.head]
+		e.head++
+		switch ev.kind {
+		case evPair:
+			e.applyPair(ev.attr, ev.i, ev.j)
+		case evTarget:
+			e.applyTarget(ev.attr, ev.val)
+		case evStep:
+			e.applyStep(ev.idx)
+		}
+	}
+	// Release the queue memory for long-lived engines.
+	e.queue = nil
+	e.head = 0
+}
+
+func (e *engine) applyStep(s int32) {
+	if e.dead[s] || e.conflict != "" {
+		return
+	}
+	st := &e.g.steps[s]
+	if st.isTarget {
+		if e.base {
+			// Target steps are template-dependent; the base chase never
+			// schedules them, but guard against misuse.
+			return
+		}
+		e.applyTarget(st.attr, st.val)
+	} else {
+		e.applyPair(st.attr, st.i, st.j)
+	}
+	e.stepsApplied++
+}
+
+// applyPair enforces ti ⪯attr tj: no-op when already derived, a conflict
+// when the reverse strict pair is present, otherwise a closure-extending
+// insertion whose every newly derived pair is post-processed.
+func (e *engine) applyPair(attr, i, j int32) {
+	if e.conflict != "" {
+		return
+	}
+	rel := e.orders.Attr(int(attr))
+	if rel.Has(int(i), int(j)) {
+		return
+	}
+	if rel.Has(int(j), int(i)) && !e.g.valEq(attr, i, j) {
+		e.conflictPair(attr, i, j)
+		return
+	}
+	for _, p := range rel.Add(int(i), int(j)) {
+		e.derivedPair(attr, int32(p.From), int32(p.To))
+		if e.conflict != "" {
+			return
+		}
+	}
+}
+
+// derivedPair post-processes one newly derived pair x ⪯attr y: conflict
+// detection, λ bookkeeping, trigger firing and correlation propagation.
+func (e *engine) derivedPair(attr, x, y int32) {
+	rel := e.orders.Attr(int(attr))
+	if x != y {
+		if rel.Has(int(y), int(x)) && !e.g.valEq(attr, x, y) {
+			e.conflictPair(attr, x, y)
+			return
+		}
+		c := e.counts[attr]
+		c[y]++
+		if !e.base && c[y] == int32(e.g.n-1) {
+			// λ: y now dominates every other tuple.
+			if v := e.g.vals[attr][y]; !v.IsNull() {
+				cur := e.te.At(int(attr))
+				switch {
+				case cur.IsNull():
+					e.pushTarget(attr, v)
+				case !cur.Equal(v):
+					e.conflict = fmt.Sprintf(
+						"λ conflict on %s: maximum value %s contradicts te value %s",
+						e.g.schema.Attr(int(attr)), v, cur)
+					return
+				}
+			}
+		}
+	}
+	if len(e.g.orderTrig) > 0 {
+		e.fireOrderKey(e.g.trigKey(attr, x, y))
+	}
+	e.fireCorr(attr, x, y)
+}
+
+// fireOrderKey satisfies every ground-step premise waiting on the order
+// fact identified by key.
+func (e *engine) fireOrderKey(key uint64) {
+	refs, ok := e.g.orderTrig[key]
+	if !ok {
+		return
+	}
+	for _, ref := range refs {
+		if e.dead[ref.step] {
+			continue
+		}
+		e.npred[ref.step]--
+		if e.npred[ref.step] == 0 {
+			e.pushStep(ref.step)
+		}
+	}
+}
+
+// fireCorr propagates a derived pair through the correlated-attribute
+// rules registered on attr.
+func (e *engine) fireCorr(attr, x, y int32) {
+	for _, cr := range e.g.corrs[attr] {
+		if cr.strict && e.g.valEq(attr, x, y) {
+			continue
+		}
+		ok := true
+		for _, p := range cr.extra {
+			if !e.g.evalCmpOnPair(p, x, y) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			e.pushPair(cr.toAttr, x, y)
+		}
+	}
+}
+
+// applyTarget enforces te[attr] = v: no-op when already set to v, a
+// conflict when set differently, otherwise an instantiation that fires
+// the target triggers and the built-in axiom ϕ8.
+func (e *engine) applyTarget(attr int32, v model.Value) {
+	if e.conflict != "" || e.base {
+		return
+	}
+	cur := e.te.At(int(attr))
+	if !cur.IsNull() {
+		if !cur.Equal(v) {
+			e.conflict = fmt.Sprintf("target conflict on %s: %s vs %s",
+				e.g.schema.Attr(int(attr)), cur, v)
+		}
+		return
+	}
+	e.te.SetAt(int(attr), v)
+	e.fireForm2(attr, v)
+	for _, ref := range e.g.targetTrig[attr] {
+		if e.dead[ref.step] {
+			continue
+		}
+		p := &e.g.steps[ref.step].preds[ref.pred]
+		if p.op.Eval(v, p.val) {
+			e.npred[ref.step]--
+			if e.npred[ref.step] == 0 {
+				e.pushStep(ref.step)
+			}
+		} else {
+			// te[attr] will never change again, so the premise — and with
+			// it the whole step — can never be satisfied.
+			e.dead[ref.step] = true
+		}
+	}
+	if e.g.useAxioms {
+		// ϕ8: every tuple is at most as accurate as the tuples whose
+		// attr value equals the (now known) target value.
+		group := e.g.valueGroups[attr][v.Key()]
+		if len(group) > 0 {
+			e.orders.Attr(int(attr)).AddAllTo(group, func(x, y int) {
+				if e.conflict == "" {
+					e.derivedPair(attr, int32(x), int32(y))
+				}
+			})
+		}
+	}
+}
+
+// fireForm2 advances the form-2 entries waiting on te[attr] = v: each
+// either fires its consequence, waits on its next condition, or dies.
+func (e *engine) fireForm2(attr int32, v model.Value) {
+	key := form2Key{attr, v.Key()}
+	entries := e.g.form2.trig[key]
+	if more, ok := e.form2More[key]; ok {
+		entries = append(append([]form2Entry(nil), entries...), more...)
+		delete(e.form2More, key)
+	}
+	for _, entry := range entries {
+		nextAttr, want, pending := e.g.form2.nextCond(e.g.im, entry, e.te)
+		switch {
+		case !pending:
+			tgt, val := e.g.form2.consequence(e.g.im, entry)
+			e.pushTarget(tgt, val)
+		case nextAttr < 0:
+			// dead: a condition mismatched
+		default:
+			k := form2Key{nextAttr, want.Key()}
+			if e.form2More == nil {
+				e.form2More = map[form2Key][]form2Entry{}
+			}
+			e.form2More[k] = append(e.form2More[k], entry)
+		}
+	}
+}
+
+func (e *engine) conflictPair(attr, i, j int32) {
+	e.conflict = fmt.Sprintf(
+		"order conflict on %s: tuples %d and %d are mutually more accurate with values %s vs %s",
+		e.g.schema.Attr(int(attr)), i, j, e.g.vals[attr][i], e.g.vals[attr][j])
+}

@@ -1,0 +1,133 @@
+// Package core is the library's front door: it ties the data model, the
+// accuracy-rule chase (Sections 2 and 5 of the paper), the top-k
+// candidate search (Section 6) and the interactive framework
+// (Section 4) into one session-oriented API.
+//
+// Typical use:
+//
+//	sess, err := core.NewSession(ie, im, rules)
+//	res := sess.Deduce()                  // Church-Rosser check + target
+//	if !res.Target.Complete() {
+//	    cands, _, _ := sess.TopK(core.Preference{K: 10}, core.AlgoTopKCT)
+//	    ...
+//	}
+//
+// ie is the entity instance (all tuples refer to one real-world entity,
+// typically produced by package er), im optional master data, and rules
+// the accuracy rules — built programmatically with package rule or
+// parsed from text with ParseRules.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/framework"
+	"repro/internal/model"
+	"repro/internal/rule"
+	"repro/internal/ruledsl"
+	"repro/internal/topk"
+)
+
+// Re-exported types, so most callers only import core.
+type (
+	// Preference is the (k, p(·)) preference model of Section 3.
+	Preference = topk.Preference
+	// Candidate is one verified candidate target.
+	Candidate = topk.Candidate
+	// SearchStats reports the work a top-k search performed.
+	SearchStats = topk.Stats
+	// Result is a chase outcome.
+	Result = chase.Result
+	// Oracle drives the interactive framework.
+	Oracle = framework.Oracle
+	// Algorithm selects a top-k candidate algorithm.
+	Algorithm = framework.Algorithm
+)
+
+// Top-k algorithm choices.
+const (
+	AlgoTopKCT     = framework.AlgoTopKCT
+	AlgoRankJoinCT = framework.AlgoRankJoinCT
+	AlgoTopKCTh    = framework.AlgoTopKCTh
+)
+
+// Session is a grounded specification S = (D0, Σ, Im, te0): the
+// instance's rules are pre-instantiated once (the Instantiation step of
+// Section 5) so deduction, candidate checks and top-k searches are
+// cheap and repeatable. Sessions are not safe for concurrent use.
+type Session struct {
+	g *chase.Grounding
+}
+
+// NewSession validates the rules against the schemas and grounds the
+// specification. im may be nil when the rule set has no form-(2) rules.
+func NewSession(ie *model.EntityInstance, im *model.MasterRelation, rules *rule.Set) (*Session, error) {
+	g, err := chase.NewGrounding(chase.Spec{Ie: ie, Im: im, Rules: rules}, chase.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{g: g}, nil
+}
+
+// Deduce runs the chase from the all-null template: it decides the
+// Church-Rosser property and, when it holds, returns the deduced target
+// tuple and accuracy orders (algorithm IsCR, Fig. 4).
+func (s *Session) Deduce() *Result { return s.g.Run(nil) }
+
+// DeduceFrom runs the chase from a partially (or fully) instantiated
+// target template, as the framework's user-feedback loop does.
+func (s *Session) DeduceFrom(template *model.Tuple) *Result { return s.g.Run(template) }
+
+// Check verifies a complete candidate target (Section 6.1): the
+// specification with t as the initial template must be Church-Rosser.
+func (s *Session) Check(t *model.Tuple) bool { return s.g.Run(t).CR }
+
+// TopK computes top-k candidate targets for the current deduced target
+// using the selected algorithm. It fails when the specification is not
+// Church-Rosser.
+func (s *Session) TopK(pref Preference, algo Algorithm) ([]Candidate, SearchStats, error) {
+	res := s.g.Run(nil)
+	if !res.CR {
+		return nil, SearchStats{}, fmt.Errorf("core: specification is not Church-Rosser: %s", res.Conflict)
+	}
+	switch algo {
+	case AlgoRankJoinCT:
+		return topk.RankJoinCT(s.g, res.Target, pref)
+	case AlgoTopKCTh:
+		return topk.TopKCTh(s.g, res.Target, pref)
+	default:
+		return topk.TopKCT(s.g, res.Target, pref)
+	}
+}
+
+// Interact runs the full framework loop of Fig. 3 with the given user
+// oracle until a complete target is found or the oracle gives up.
+func (s *Session) Interact(cfg framework.Config, oracle Oracle) (*framework.Outcome, error) {
+	return framework.Run(s.g, cfg, oracle)
+}
+
+// Grounding exposes the underlying grounding for advanced callers
+// (benchmarks, custom search strategies).
+func (s *Session) Grounding() *chase.Grounding { return s.g }
+
+// ParseRules parses the textual rule language (see package ruledsl) and
+// validates the result against the schemas.
+func ParseRules(text string, entity *model.Schema, master *model.Schema) (*rule.Set, error) {
+	rules, err := ruledsl.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return rule.NewSet(entity, master, rules...)
+}
+
+// FormatRules renders a rule set in the textual rule language.
+func FormatRules(rules *rule.Set) string {
+	return ruledsl.Format(rules.Rules())
+}
+
+// GroundTruthOracle returns an oracle driven by a known true tuple,
+// for experiments and tests.
+func GroundTruthOracle(truth *model.Tuple) Oracle {
+	return &framework.GroundTruthOracle{Truth: truth}
+}

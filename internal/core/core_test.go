@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/framework"
+	"repro/internal/model"
+	"repro/internal/paperdata"
+	"repro/internal/rule"
+)
+
+func session(t *testing.T) *core.Session {
+	t.Helper()
+	ie := paperdata.Stat()
+	im := paperdata.NBA()
+	rs, err := rule.NewSet(ie.Schema(), im.Schema(), paperdata.Rules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSession(ie, im, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionDeduce(t *testing.T) {
+	s := session(t)
+	res := s.Deduce()
+	if !res.CR || !res.Target.EqualTo(paperdata.Target()) {
+		t.Fatalf("Deduce: CR=%v target=%v", res.CR, res.Target)
+	}
+}
+
+func TestSessionCheck(t *testing.T) {
+	s := session(t)
+	if !s.Check(paperdata.Target()) {
+		t.Errorf("true target must pass Check")
+	}
+	bad := paperdata.Target()
+	bad.Set(paperdata.League, model.S("SL"))
+	if s.Check(bad) {
+		t.Errorf("bad target must fail Check")
+	}
+}
+
+func TestSessionTopKAllAlgorithms(t *testing.T) {
+	// Drop phi6b so there is something to search for.
+	ie := paperdata.Stat()
+	im := paperdata.NBA()
+	var rules []rule.Rule
+	for _, r := range paperdata.Rules() {
+		if r.Name() != "phi6b" {
+			rules = append(rules, r)
+		}
+	}
+	rs, _ := rule.NewSet(ie.Schema(), im.Schema(), rules...)
+	s, err := core.NewSession(ie, im, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []core.Algorithm{core.AlgoTopKCT, core.AlgoRankJoinCT, core.AlgoTopKCTh} {
+		cands, stats, err := s.TopK(core.Preference{K: 3}, algo)
+		if err != nil {
+			t.Fatalf("algo %d: %v", algo, err)
+		}
+		if len(cands) == 0 || !cands[0].Tuple.EqualTo(paperdata.Target()) {
+			t.Errorf("algo %d: top candidate wrong", algo)
+		}
+		if stats.Checks == 0 {
+			t.Errorf("algo %d: no checks recorded", algo)
+		}
+	}
+}
+
+func TestSessionTopKNonCR(t *testing.T) {
+	ie := paperdata.Stat()
+	im := paperdata.NBA()
+	rs, _ := rule.NewSet(ie.Schema(), im.Schema(), append(paperdata.Rules(), paperdata.Phi12())...)
+	s, err := core.NewSession(ie, im, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.TopK(core.Preference{K: 3}, core.AlgoTopKCT); err == nil {
+		t.Errorf("TopK on a non-CR specification must fail")
+	}
+}
+
+func TestSessionInteract(t *testing.T) {
+	s := session(t)
+	out, err := s.Interact(framework.Config{}, core.GroundTruthOracle(paperdata.Target()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Found || !out.Target.EqualTo(paperdata.Target()) {
+		t.Errorf("Interact: Found=%v target=%v", out.Found, out.Target)
+	}
+}
+
+func TestParseAndFormatRules(t *testing.T) {
+	ie := paperdata.Stat()
+	im := paperdata.NBA()
+	rs, err := rule.NewSet(ie.Schema(), im.Schema(), paperdata.Rules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := core.FormatRules(rs)
+	parsed, err := core.ParseRules(text, ie.Schema(), im.Schema())
+	if err != nil {
+		t.Fatalf("ParseRules: %v\n%s", err, text)
+	}
+	if parsed.Len() != rs.Len() {
+		t.Errorf("round trip: %d vs %d rules", parsed.Len(), rs.Len())
+	}
+	// Bad rules fail validation.
+	if _, err := core.ParseRules("r: t1[zz] = t2[zz] -> t1 <= t2 @ zz", ie.Schema(), im.Schema()); err == nil {
+		t.Errorf("unknown attribute must fail validation")
+	}
+}

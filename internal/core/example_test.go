@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Example walks through the full API on a small product catalogue: three
+// feeds disagree about a product; a version counter orders the feeds, a
+// correlation rule carries the order to the price, and master data pins
+// the manufacturer.
+func Example() {
+	s := model.MustSchema("product", "sku", "rev", "price", "maker")
+	ie := model.NewEntityInstance(s)
+	ie.MustAdd(model.MustTuple(s, model.S("A-17"), model.I(1), model.S("9.99"), model.S("Acme Inc")))
+	ie.MustAdd(model.MustTuple(s, model.S("A-17"), model.I(2), model.S("10.49"), model.S("ACME")))
+	ie.MustAdd(model.MustTuple(s, model.S("A-17"), model.I(3), model.S("10.99"), model.NullValue()))
+
+	ms := model.MustSchema("catalog", "sku", "maker")
+	im := model.NewMasterRelation(ms)
+	im.MustAdd(model.MustTuple(ms, model.S("A-17"), model.S("Acme Inc.")))
+
+	rules, err := core.ParseRules(`
+		rev:    t1[rev] < t2[rev] -> t1 <= t2 @ rev
+		price:  t1 < t2 @ rev , t2[price] != null -> t1 <= t2 @ price
+		maker:  master te[sku] = tm[sku] -> te[maker] = tm[maker]
+	`, s, ms)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sess, err := core.NewSession(ie, im, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sess.Deduce()
+	fmt.Println("Church-Rosser:", res.CR)
+	for _, a := range s.Attrs() {
+		v, _ := res.Target.Get(a)
+		fmt.Printf("te[%s] = %s\n", a, v)
+	}
+	// Output:
+	// Church-Rosser: true
+	// te[sku] = A-17
+	// te[rev] = 3
+	// te[price] = 10.99
+	// te[maker] = Acme Inc.
+}
+
+// ExampleSession_TopK shows candidate search when the chase cannot
+// decide an attribute: two colour values survive, ranked by occurrence.
+func ExampleSession_TopK() {
+	s := model.MustSchema("product", "sku", "color")
+	ie := model.NewEntityInstance(s)
+	ie.MustAdd(model.MustTuple(s, model.S("A-17"), model.S("red")))
+	ie.MustAdd(model.MustTuple(s, model.S("A-17"), model.S("red")))
+	ie.MustAdd(model.MustTuple(s, model.S("A-17"), model.S("burgundy")))
+
+	rules, _ := core.ParseRules("", s, nil)
+	sess, err := core.NewSession(ie, nil, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cands, _, err := sess.TopK(core.Preference{K: 2}, core.AlgoTopKCT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cands {
+		v, _ := c.Tuple.Get("color")
+		fmt.Printf("color=%s score=%.0f\n", v, c.Score)
+	}
+	// Output:
+	// color=red score=5
+	// color=burgundy score=4
+}
+
+// ExampleSession_Check verifies candidates against the rules: a price
+// below the newest feed's contradicts the currency order.
+func ExampleSession_Check() {
+	s := model.MustSchema("product", "rev", "price")
+	ie := model.NewEntityInstance(s)
+	ie.MustAdd(model.MustTuple(s, model.I(1), model.S("9.99")))
+	ie.MustAdd(model.MustTuple(s, model.I(2), model.S("10.99")))
+
+	rules, _ := core.ParseRules(`
+		rev:   t1[rev] < t2[rev] -> t1 <= t2 @ rev
+		price: t1 < t2 @ rev , t2[price] != null -> t1 <= t2 @ price
+	`, s, nil)
+	sess, err := core.NewSession(ie, nil, rules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	good := model.MustTuple(s, model.I(2), model.S("10.99"))
+	bad := model.MustTuple(s, model.I(2), model.S("9.99")) // stale price
+	fmt.Println(sess.Check(good), sess.Check(bad))
+	// Output: true false
+}

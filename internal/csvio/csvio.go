@@ -1,0 +1,106 @@
+// Package csvio loads and saves relations as CSV so the command-line
+// tools can operate on user data: the first row is the header (attribute
+// names), every other row a tuple. Values are interpreted by
+// model.Parse — "null" and the empty string are null, numerals are
+// numeric, true/false boolean, everything else string. Writing uses
+// quoted strings only when CSV requires it.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/model"
+)
+
+// ReadRelation parses CSV into a schema (named name) and its tuples.
+func ReadRelation(r io.Reader, name string) (*model.Schema, []*model.Tuple, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("csvio: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("csvio: empty input")
+	}
+	schema, err := model.NewSchema(name, rows[0]...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tuples []*model.Tuple
+	for i, row := range rows[1:] {
+		if len(row) != schema.Arity() {
+			return nil, nil, fmt.Errorf("csvio: row %d has %d fields, want %d", i+2, len(row), schema.Arity())
+		}
+		t := model.NewTuple(schema)
+		for j, cell := range row {
+			t.SetAt(j, model.Parse(cell))
+		}
+		tuples = append(tuples, t)
+	}
+	return schema, tuples, nil
+}
+
+// ReadRelationFile is ReadRelation over a file path; the relation is
+// named after the path.
+func ReadRelationFile(path string) (*model.Schema, []*model.Tuple, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadRelation(f, path)
+}
+
+// ReadEntityInstance loads a CSV as a single entity instance.
+func ReadEntityInstance(r io.Reader, name string) (*model.EntityInstance, error) {
+	schema, tuples, err := ReadRelation(r, name)
+	if err != nil {
+		return nil, err
+	}
+	ie := model.NewEntityInstance(schema)
+	for _, t := range tuples {
+		ie.MustAdd(t)
+	}
+	return ie, nil
+}
+
+// ReadMaster loads a CSV as a master relation.
+func ReadMaster(r io.Reader, name string) (*model.MasterRelation, error) {
+	schema, tuples, err := ReadRelation(r, name)
+	if err != nil {
+		return nil, err
+	}
+	im := model.NewMasterRelation(schema)
+	for _, t := range tuples {
+		im.MustAdd(t)
+	}
+	return im, nil
+}
+
+// WriteRelation writes a header plus one row per tuple.
+func WriteRelation(w io.Writer, schema *model.Schema, tuples []*model.Tuple) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(schema.Attrs()); err != nil {
+		return err
+	}
+	row := make([]string, schema.Arity())
+	for _, t := range tuples {
+		for j := range row {
+			v := t.At(j)
+			if v.IsNull() {
+				row[j] = ""
+			} else {
+				row[j] = v.String()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,87 @@
+package csvio_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/csvio"
+	"repro/internal/model"
+)
+
+const sample = `name,rnds,active,score
+Michael,27,true,91.5
+MJ,,false,
+null,1,true,3
+`
+
+func TestReadRelation(t *testing.T) {
+	schema, tuples, err := csvio.ReadRelation(strings.NewReader(sample), "stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Arity() != 4 || len(tuples) != 3 {
+		t.Fatalf("shape: %d attrs, %d tuples", schema.Arity(), len(tuples))
+	}
+	if v, _ := tuples[0].Get("rnds"); !v.Equal(model.I(27)) || v.Kind() != model.Int {
+		t.Errorf("rnds = %v (%v)", v, v.Kind())
+	}
+	if v, _ := tuples[0].Get("active"); !v.Equal(model.B(true)) {
+		t.Errorf("active = %v", v)
+	}
+	if v, _ := tuples[0].Get("score"); !v.Equal(model.F(91.5)) {
+		t.Errorf("score = %v", v)
+	}
+	if v, _ := tuples[1].Get("rnds"); !v.IsNull() {
+		t.Errorf("empty cell should be null, got %v", v)
+	}
+	if v, _ := tuples[2].Get("name"); !v.IsNull() {
+		t.Errorf("'null' cell should be null, got %v", v)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, _, err := csvio.ReadRelation(strings.NewReader(""), "x"); err == nil {
+		t.Errorf("empty input should fail")
+	}
+	if _, _, err := csvio.ReadRelation(strings.NewReader("a,b\n1\n"), "x"); err == nil {
+		t.Errorf("ragged row should fail")
+	}
+	if _, _, err := csvio.ReadRelation(strings.NewReader("a,a\n1,2\n"), "x"); err == nil {
+		t.Errorf("duplicate header should fail")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	schema, tuples, err := csvio.ReadRelation(strings.NewReader(sample), "stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := csvio.WriteRelation(&buf, schema, tuples); err != nil {
+		t.Fatal(err)
+	}
+	schema2, tuples2, err := csvio.ReadRelation(bytes.NewReader(buf.Bytes()), "stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema2.Arity() != schema.Arity() || len(tuples2) != len(tuples) {
+		t.Fatalf("round trip shape changed")
+	}
+	for i := range tuples {
+		if !tuples[i].EqualTo(tuples2[i]) {
+			t.Errorf("tuple %d changed: %v vs %v", i, tuples[i], tuples2[i])
+		}
+	}
+}
+
+func TestReadEntityInstanceAndMaster(t *testing.T) {
+	ie, err := csvio.ReadEntityInstance(strings.NewReader(sample), "stat")
+	if err != nil || ie.Size() != 3 {
+		t.Fatalf("instance: %v %d", err, ie.Size())
+	}
+	im, err := csvio.ReadMaster(strings.NewReader(sample), "master")
+	if err != nil || im.Size() != 3 {
+		t.Fatalf("master: %v %d", err, im.Size())
+	}
+}

@@ -1,0 +1,146 @@
+// Package fusion applies relative-accuracy reasoning to a whole dirty
+// relation, the application the paper motivates in Section 1 ("improve
+// the accuracy of data in a database") and lists as ongoing work in its
+// conclusion: tuples are grouped into entity instances by entity
+// resolution, each instance is chased with the accuracy rules and master
+// data, incomplete targets are filled from the top-k search, and the
+// result is one fused tuple per entity.
+//
+// The pipeline is: er.Resolve → chase per entity → topk per incomplete
+// entity → fused relation + per-entity report.
+package fusion
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/er"
+	"repro/internal/model"
+	"repro/internal/rule"
+	"repro/internal/topk"
+)
+
+// Config assembles the pipeline.
+type Config struct {
+	// ER groups the input tuples into entity instances.
+	ER er.Config
+	// Rules is the accuracy rule set Σ.
+	Rules *rule.Set
+	// Master is the optional master relation Im.
+	Master *model.MasterRelation
+	// Pref ranks candidate values for attributes the chase cannot
+	// decide; K = 0 disables candidate filling (incomplete targets are
+	// returned with nulls). K = 1 fills with the best verified candidate.
+	Pref topk.Preference
+	// KeepIncomplete controls whether entities whose target stays
+	// incomplete (or whose specification is not Church-Rosser) appear in
+	// the fused output; their Status reports why.
+	KeepIncomplete bool
+}
+
+// Status classifies one entity's outcome.
+type Status int
+
+const (
+	// Deduced: the chase alone produced a complete target.
+	Deduced Status = iota
+	// Filled: the target was completed from the top-k candidates.
+	Filled
+	// Incomplete: some attributes stayed null.
+	Incomplete
+	// NotChurchRosser: the entity's rules conflicted; no target.
+	NotChurchRosser
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Deduced:
+		return "deduced"
+	case Filled:
+		return "filled"
+	case Incomplete:
+		return "incomplete"
+	case NotChurchRosser:
+		return "not-church-rosser"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// EntityResult is the outcome for one resolved entity.
+type EntityResult struct {
+	Instance *model.EntityInstance
+	Target   *model.Tuple // nil when NotChurchRosser
+	Status   Status
+	Conflict string // set when NotChurchRosser
+}
+
+// Result is the fused relation plus the per-entity breakdown.
+type Result struct {
+	Schema   *model.Schema
+	Fused    []*model.Tuple
+	Entities []EntityResult
+}
+
+// Counts tallies entity statuses.
+func (r *Result) Counts() map[Status]int {
+	out := map[Status]int{}
+	for _, e := range r.Entities {
+		out[e.Status]++
+	}
+	return out
+}
+
+// Fuse runs the pipeline over the tuples of one relation.
+func Fuse(tuples []*model.Tuple, schema *model.Schema, cfg Config) (*Result, error) {
+	instances, err := er.Resolve(tuples, schema, cfg.ER)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Schema: schema}
+	for _, ie := range instances {
+		er, err := fuseEntity(ie, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Entities = append(res.Entities, er)
+		if er.Target != nil && (er.Target.Complete() || cfg.KeepIncomplete) {
+			res.Fused = append(res.Fused, er.Target)
+		}
+	}
+	return res, nil
+}
+
+func fuseEntity(ie *model.EntityInstance, cfg Config) (EntityResult, error) {
+	g, err := chase.NewGrounding(chase.Spec{Ie: ie, Im: cfg.Master, Rules: cfg.Rules}, chase.Options{})
+	if err != nil {
+		return EntityResult{}, err
+	}
+	out := EntityResult{Instance: ie}
+	r := g.Run(nil)
+	if !r.CR {
+		out.Status = NotChurchRosser
+		out.Conflict = r.Conflict
+		return out, nil
+	}
+	out.Target = r.Target
+	if r.Target.Complete() {
+		out.Status = Deduced
+		return out, nil
+	}
+	if cfg.Pref.K > 0 {
+		pref := cfg.Pref
+		cands, _, err := topk.TopKCT(g, r.Target, pref)
+		if err != nil {
+			return EntityResult{}, err
+		}
+		if len(cands) > 0 {
+			out.Target = cands[0].Tuple
+			out.Status = Filled
+			return out, nil
+		}
+	}
+	out.Status = Incomplete
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package fusion_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/er"
+	"repro/internal/fusion"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/paperdata"
+	"repro/internal/rule"
+	"repro/internal/topk"
+)
+
+// TestFusePaperExample: the four Michael Jordan tuples fuse into the
+// paper's target, alongside a second planted entity.
+func TestFusePaperExample(t *testing.T) {
+	schema := paperdata.StatSchema()
+	var tuples []*model.Tuple
+	for _, tp := range paperdata.Stat().Tuples() {
+		nt := model.NewTuple(schema)
+		for a := 0; a < schema.Arity(); a++ {
+			nt.SetAt(a, tp.At(a))
+		}
+		tuples = append(tuples, nt)
+	}
+	// A second entity: Scottie Pippen, two consistent tuples.
+	null := model.NullValue()
+	tuples = append(tuples,
+		model.MustTuple(schema, model.S("Scottie"), null, model.S("Pippen"),
+			model.I(10), model.I(170), model.I(33), model.S("NBA"),
+			model.S("Chicago Bulls"), model.S("United Center")),
+		model.MustTuple(schema, model.S("Scottie"), null, model.S("Pippen"),
+			model.I(20), model.I(350), model.I(33), model.S("NBA"),
+			model.S("Chicago Bulls"), model.S("United Center")),
+	)
+
+	im := paperdata.NBA()
+	rules, err := rule.NewSet(schema, im.Schema(), paperdata.Rules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fusion.Fuse(tuples, schema, fusion.Config{
+		ER:     er.Config{KeyAttrs: []string{"LN"}, Threshold: 0.8},
+		Rules:  rules,
+		Master: im,
+		Pref:   topk.Preference{K: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1 carries LN = null, which never matches the ER key, so it may
+	// end up as its own singleton cluster: 2 or 3 entities are both
+	// legitimate resolutions.
+	if len(res.Entities) < 2 || len(res.Entities) > 3 {
+		t.Fatalf("entities = %d, want 2 or 3", len(res.Entities))
+	}
+	// The Jordan entity must fuse to the paper target. The ER key (LN)
+	// clusters t1 (null LN) with... null keys never match, so t1 may
+	// form its own cluster; accept either 2 or 3 clusters by checking
+	// the Jordan target is present.
+	foundJordan := false
+	for _, f := range res.Fused {
+		if f.EqualTo(paperdata.Target()) {
+			foundJordan = true
+		}
+	}
+	if !foundJordan {
+		var got []string
+		for _, f := range res.Fused {
+			got = append(got, f.String())
+		}
+		t.Errorf("paper target not among fused tuples: %v", got)
+	}
+	counts := res.Counts()
+	if counts[fusion.Deduced] == 0 {
+		t.Errorf("expected deduced entities, got %v", counts)
+	}
+}
+
+// TestFuseGeneratedDataset: fuse a generated Med-style relation and
+// measure accuracy against ground truth.
+func TestFuseGeneratedDataset(t *testing.T) {
+	cfg := gen.MedConfig()
+	cfg.NumEntities = 120
+	ds := gen.Generate(cfg)
+
+	// Flatten the dataset back into one dirty relation.
+	var tuples []*model.Tuple
+	for _, e := range ds.Entities {
+		tuples = append(tuples, e.Instance.Tuples()...)
+	}
+	res, err := fusion.Fuse(tuples, ds.Schema, fusion.Config{
+		// The generator's name attribute is the natural ER key.
+		ER:     er.Config{KeyAttrs: []string{"name"}, BlockAttr: "name", BlockPrefix: 12, Threshold: 0.95},
+		Rules:  ds.Rules,
+		Master: ds.Master,
+		Pref:   topk.Preference{K: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entities) != len(ds.Entities) {
+		t.Fatalf("ER recovered %d entities, want %d", len(res.Entities), len(ds.Entities))
+	}
+	// Index truth by name and compare fused values.
+	truthByName := map[string]*model.Tuple{}
+	for _, e := range ds.Entities {
+		truthByName[e.ID] = e.Truth
+	}
+	attrsTotal, attrsCorrect := 0, 0
+	for _, f := range res.Fused {
+		name, _ := f.Get("name")
+		truth := truthByName[name.Str()]
+		if truth == nil {
+			t.Fatalf("fused tuple with unknown name %v", name)
+		}
+		for a := 0; a < ds.Schema.Arity(); a++ {
+			if f.At(a).IsNull() {
+				continue
+			}
+			attrsTotal++
+			if f.At(a).Equal(truth.At(a)) {
+				attrsCorrect++
+			}
+		}
+	}
+	rate := float64(attrsCorrect) / float64(attrsTotal)
+	t.Logf("fused %d entities; non-null attribute accuracy %.3f; statuses %v",
+		len(res.Fused), rate, res.Counts())
+	if rate < 0.85 {
+		t.Errorf("fused accuracy %.3f too low", rate)
+	}
+	counts := res.Counts()
+	if counts[fusion.NotChurchRosser] > 0 {
+		t.Errorf("generated dataset should be conflict-free, got %d non-CR", counts[fusion.NotChurchRosser])
+	}
+	if counts[fusion.Filled] == 0 {
+		t.Errorf("expected some top-k-filled entities, got %v", counts)
+	}
+}
+
+// TestFuseKeepIncomplete: with K=0 and KeepIncomplete, unresolved
+// entities surface with nulls.
+func TestFuseKeepIncomplete(t *testing.T) {
+	s := model.MustSchema("r", "id", "v")
+	tuples := []*model.Tuple{
+		model.MustTuple(s, model.S("e1"), model.S("x")),
+		model.MustTuple(s, model.S("e1"), model.S("y")),
+	}
+	res, err := fusion.Fuse(tuples, s, fusion.Config{
+		ER:             er.Config{KeyAttrs: []string{"id"}},
+		Rules:          rule.MustSet(s, nil),
+		KeepIncomplete: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fused) != 1 {
+		t.Fatalf("fused = %d", len(res.Fused))
+	}
+	if v, _ := res.Fused[0].Get("v"); !v.IsNull() {
+		t.Errorf("v should stay null, got %v", v)
+	}
+	if res.Entities[0].Status != fusion.Incomplete {
+		t.Errorf("status = %v", res.Entities[0].Status)
+	}
+
+	// Without KeepIncomplete the entity is dropped.
+	res2, err := fusion.Fuse(tuples, s, fusion.Config{
+		ER:    er.Config{KeyAttrs: []string{"id"}},
+		Rules: rule.MustSet(s, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Fused) != 0 {
+		t.Errorf("incomplete entity should be dropped, got %d", len(res2.Fused))
+	}
+}
+
+// TestFuseNonCR: an entity with conflicting rules is reported, not
+// silently fused.
+func TestFuseNonCR(t *testing.T) {
+	s := model.MustSchema("r", "id", "v")
+	tuples := []*model.Tuple{
+		model.MustTuple(s, model.S("e1"), model.I(1)),
+		model.MustTuple(s, model.S("e1"), model.I(2)),
+	}
+	up := &rule.Form1{RuleName: "up",
+		LHS: []rule.Pred{rule.Cmp(rule.T1("v"), rule.Lt, rule.T2("v"))}, RHS: "v"}
+	down := &rule.Form1{RuleName: "down",
+		LHS: []rule.Pred{rule.Cmp(rule.T1("v"), rule.Gt, rule.T2("v"))}, RHS: "v"}
+	res, err := fusion.Fuse(tuples, s, fusion.Config{
+		ER:    er.Config{KeyAttrs: []string{"id"}},
+		Rules: rule.MustSet(s, nil, up, down),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entities[0].Status != fusion.NotChurchRosser || res.Entities[0].Conflict == "" {
+		t.Errorf("want NotChurchRosser with conflict, got %v %q",
+			res.Entities[0].Status, res.Entities[0].Conflict)
+	}
+	if len(res.Fused) != 0 {
+		t.Errorf("non-CR entity must not be fused")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[fusion.Status]string{
+		fusion.Deduced:         "deduced",
+		fusion.Filled:          "filled",
+		fusion.Incomplete:      "incomplete",
+		fusion.NotChurchRosser: "not-church-rosser",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+	if fmt.Sprint(fusion.Status(99)) == "" {
+		t.Errorf("unknown status should render")
+	}
+}

@@ -1,0 +1,258 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/rule"
+	"repro/internal/truth"
+)
+
+// RestConfig parameterises the restaurant dataset of Exp-5 (originally
+// 8 weekly snapshots of Manhattan restaurants from 12 web sources, with
+// copying between sources; only the Boolean closed? attribute is to be
+// discovered).
+type RestConfig struct {
+	Name        string
+	Restaurants int
+	ClosedRate  float64 // fraction of restaurants truly closed
+	Seed        int64
+
+	// Source population. Sources[0] is the aggressive low-quality source
+	// that Copiers replicate; Dated sources publish an as-of date and are
+	// reliable, enabling the accuracy rules the chase exploits.
+	Independents int // reliable independent sources
+	Copiers      int // sources copying Sources[0]
+	Dated        int // dated, accurate sources (subset of the reliable ones)
+
+	AggressiveFalseClosed float64 // source 0: P(claim closed | open)
+	AggressiveFalseOpen   float64 // source 0: P(claim open | closed)
+	IndepFalseClosed      float64
+	IndepFalseOpen        float64
+
+	CliqueCover float64 // coverage of source 0 and its copiers
+	IndepCover  float64 // coverage of each independent source
+	DatedCover  float64 // coverage of each dated source
+}
+
+// RestDefault mirrors the paper's setting at test-friendly scale
+// (scale up Restaurants for benchmarking).
+func RestDefault() RestConfig {
+	return RestConfig{
+		Name:                  "Rest",
+		Restaurants:           1000,
+		ClosedRate:            0.30,
+		Seed:                  3,
+		Independents:          7,
+		Copiers:               3,
+		Dated:                 2,
+		AggressiveFalseClosed: 0.60,
+		AggressiveFalseOpen:   0.15,
+		IndepFalseClosed:      0.12,
+		IndepFalseOpen:        0.15,
+		CliqueCover:           0.90,
+		IndepCover:            0.55,
+		DatedCover:            0.35,
+	}
+}
+
+// RestDataset extends Dataset with the source-attributed claims that
+// copyCEF consumes and the Boolean ground truth.
+type RestDataset struct {
+	Dataset
+	// Claims holds one closed?-claim per (source, covered restaurant).
+	Claims []truth.Claim
+	// Closed maps entity ID to the true closed? value.
+	Closed map[string]bool
+	// Sources lists all source names.
+	Sources []string
+}
+
+// GenerateRest builds the restaurant dataset. Schema:
+//
+//	src | asOf | closed | phone
+//
+// Each restaurant's entity instance holds the latest snapshot of every
+// covering source. Dated sources fill asOf (distinct integers) and are
+// accurate on closed?; the accuracy rules order dated tuples by asOf and
+// rank undated tuples below dated ones, so the chase resolves closed?
+// exactly where a dated source reports — the ARs-beyond-currency effect
+// of Exp-5. A currency-only rule subset (for DeduceOrder) is the same
+// set minus the dated-beats-undated trust rules; see RestCurrencyRules.
+func GenerateRest(cfg RestConfig) *RestDataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schema := model.MustSchema(cfg.Name, "src", "asOf", "closed", "phone")
+
+	var sources []string
+	type src struct {
+		name        string
+		falseClosed float64
+		falseOpen   float64
+		cover       float64
+		copies      string // name of the copied source, if any
+		dated       bool
+	}
+	var srcs []src
+	srcs = append(srcs, src{
+		name:        "s0",
+		falseClosed: cfg.AggressiveFalseClosed,
+		falseOpen:   cfg.AggressiveFalseOpen,
+		cover:       cfg.CliqueCover,
+	})
+	for i := 0; i < cfg.Copiers; i++ {
+		srcs = append(srcs, src{
+			name:   fmt.Sprintf("copy%d", i),
+			cover:  cfg.CliqueCover,
+			copies: "s0",
+		})
+	}
+	for i := 0; i < cfg.Independents; i++ {
+		srcs = append(srcs, src{
+			name:        fmt.Sprintf("ind%d", i),
+			falseClosed: cfg.IndepFalseClosed * (0.7 + 0.6*rng.Float64()),
+			falseOpen:   cfg.IndepFalseOpen * (0.7 + 0.6*rng.Float64()),
+			cover:       cfg.IndepCover,
+		})
+	}
+	for i := 0; i < cfg.Dated; i++ {
+		srcs = append(srcs, src{
+			name:  fmt.Sprintf("dated%d", i),
+			cover: cfg.DatedCover,
+			dated: true,
+		})
+	}
+	for _, s := range srcs {
+		sources = append(sources, s.name)
+	}
+
+	ds := &RestDataset{
+		Dataset: Dataset{Name: cfg.Name, Schema: schema},
+		Closed:  map[string]bool{},
+		Sources: sources,
+	}
+
+	for r := 0; r < cfg.Restaurants; r++ {
+		id := fmt.Sprintf("rest-%04d", r)
+		closed := rng.Float64() < cfg.ClosedRate
+		ds.Closed[id] = closed
+		phone := fmt.Sprintf("212-%07d", rng.Intn(10000000))
+
+		truthT := model.NewTuple(schema)
+		truthT.Set("src", model.S("truth"))
+		truthT.Set("closed", model.B(closed))
+		truthT.Set("phone", model.S(phone))
+
+		ie := model.NewEntityInstance(schema)
+		s0Claim := closed // source 0's claim, replicated by copiers
+		if closed {
+			if rng.Float64() < cfg.AggressiveFalseOpen {
+				s0Claim = false
+			}
+		} else if rng.Float64() < cfg.AggressiveFalseClosed {
+			s0Claim = true
+		}
+		asOfSeq := int64(1)
+		for _, s := range srcs {
+			if rng.Float64() >= s.cover {
+				continue
+			}
+			claim := closed
+			switch {
+			case s.copies != "":
+				claim = s0Claim // copiers replicate wholesale
+			case s.dated:
+				// Dated sources are accurate on closed?.
+			default:
+				if closed {
+					if rng.Float64() < s.falseOpen {
+						claim = false
+					}
+				} else if rng.Float64() < s.falseClosed {
+					claim = true
+				}
+			}
+			t := model.NewTuple(schema)
+			t.Set("src", model.S(s.name))
+			t.Set("closed", model.B(claim))
+			if s.dated {
+				t.Set("asOf", model.I(asOfSeq))
+				asOfSeq++
+			}
+			if s.dated {
+				// Dated sources are curated: their phone is correct (or
+				// missing). This also keeps the currency chain
+				// value-consistent, as the real curated feeds were.
+				if rng.Float64() < 0.85 {
+					t.Set("phone", model.S(phone))
+				}
+			} else if rng.Float64() < 0.8 {
+				if rng.Float64() < 0.15 {
+					t.Set("phone", model.S(fmt.Sprintf("212-%07d", rng.Intn(10000000))))
+				} else {
+					t.Set("phone", model.S(phone))
+				}
+			}
+			ie.MustAdd(t)
+			ds.Claims = append(ds.Claims, truth.Claim{
+				Source: s.name, Entity: id, Attr: "closed", Val: model.B(claim),
+			})
+		}
+		if ie.Size() == 0 {
+			// Guarantee at least one observation.
+			t := model.NewTuple(schema)
+			t.Set("src", model.S("ind0"))
+			t.Set("closed", model.B(closed))
+			ie.MustAdd(t)
+			ds.Claims = append(ds.Claims, truth.Claim{
+				Source: "ind0", Entity: id, Attr: "closed", Val: model.B(closed),
+			})
+		}
+		ds.Entities = append(ds.Entities, Entity{ID: id, Instance: ie, Truth: truthT})
+	}
+
+	ds.Rules = restRules(schema, true)
+	return ds
+}
+
+// RestCurrencyRules returns the rule subset available to DeduceOrder:
+// genuine currency constraints only (asOf comparisons), without the
+// dated-beats-undated source-trust rules — those express relative
+// accuracy, which is precisely what [14] cannot state.
+func RestCurrencyRules(d *RestDataset) *rule.Set {
+	return restRules(d.Schema, false)
+}
+
+func restRules(schema *model.Schema, withTrust bool) *rule.Set {
+	var rules []rule.Rule
+	// A fresher as-of date is by definition more current.
+	rules = append(rules, &rule.Form1{
+		RuleName: "cur-asOf",
+		LHS:      []rule.Pred{rule.Cmp(rule.T1("asOf"), rule.Lt, rule.T2("asOf"))},
+		RHS:      "asOf",
+	})
+	for _, attr := range []string{"closed", "phone"} {
+		// Currency: a fresher dated snapshot is more accurate.
+		rules = append(rules, &rule.Form1{
+			RuleName: "cur-" + attr,
+			LHS: []rule.Pred{
+				rule.Cmp(rule.T1("asOf"), rule.Lt, rule.T2("asOf")),
+				rule.Cmp(rule.T2(attr), rule.Ne, rule.C(model.NullValue())),
+			},
+			RHS: attr,
+		})
+		if withTrust {
+			// Relative accuracy: dated sources beat undated ones.
+			rules = append(rules, &rule.Form1{
+				RuleName: "trust-" + attr,
+				LHS: []rule.Pred{
+					rule.Cmp(rule.T1("asOf"), rule.Eq, rule.C(model.NullValue())),
+					rule.Cmp(rule.T2("asOf"), rule.Ne, rule.C(model.NullValue())),
+					rule.Cmp(rule.T2(attr), rule.Ne, rule.C(model.NullValue())),
+				},
+				RHS: attr,
+			})
+		}
+	}
+	return rule.MustSet(schema, nil, rules...)
+}

@@ -1,0 +1,195 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/rule"
+)
+
+// SynConfig parameterises the synthetic scalability dataset of Section 7
+// (Exp-4): a single entity instance of 20 attributes whose size ‖Ie‖,
+// master size ‖Im‖ and rule count ‖Σ‖ are varied independently. The
+// instance extends the structure of the running example (a version
+// chain, currency-correlated attributes, master-covered attributes and
+// free attributes) to arbitrary size while remaining Church-Rosser.
+type SynConfig struct {
+	Tuples int // ‖Ie‖
+	Im     int // ‖Im‖ (rows; one of them matches the entity)
+	Rules  int // ‖Σ‖ target (75% form 1, 25% form 2, as in the paper)
+	Seed   int64
+}
+
+// SynDefault is the paper's default operating point (‖Ie‖=900, ‖Im‖=300,
+// ‖Σ‖=60).
+func SynDefault() SynConfig {
+	return SynConfig{Tuples: 900, Im: 300, Rules: 60, Seed: 4}
+}
+
+// GenerateSyn builds one synthetic entity. Layout of the 20 attributes:
+//
+//	name | version | m0..m4 | c0..c8 | f0..f3
+//
+// name agrees, version is a distinct monotone counter, c* follow a
+// change-point process along version, m* are noisy and master-covered
+// (master keyed on name), f* are free (so the deduced target is
+// incomplete and the top-k algorithms have work to do).
+func GenerateSyn(cfg SynConfig) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	attrs := []string{"name", "version"}
+	for i := 0; i < 5; i++ {
+		attrs = append(attrs, fmt.Sprintf("m%d", i))
+	}
+	for i := 0; i < 9; i++ {
+		attrs = append(attrs, fmt.Sprintf("c%d", i))
+	}
+	for i := 0; i < 4; i++ {
+		attrs = append(attrs, fmt.Sprintf("f%d", i))
+	}
+	schema := model.MustSchema("Syn", attrs...)
+
+	n := cfg.Tuples
+	truth := model.NewTuple(schema)
+	truth.Set("name", model.S("syn-entity"))
+	truth.Set("version", model.I(int64(n)))
+	for i := 0; i < 5; i++ {
+		truth.Set(fmt.Sprintf("m%d", i), model.S(fmt.Sprintf("m%d-true", i)))
+	}
+	for i := 0; i < 9; i++ {
+		truth.Set(fmt.Sprintf("c%d", i), model.S(fmt.Sprintf("c%d-true", i)))
+	}
+	for i := 0; i < 4; i++ {
+		truth.Set(fmt.Sprintf("f%d", i), model.S(fmt.Sprintf("f%d-v0", i)))
+	}
+
+	// Change points for the currency attributes.
+	change := make([]int, 9)
+	for i := range change {
+		change[i] = 1 + rng.Intn(n)
+	}
+
+	ie := model.NewEntityInstance(schema)
+	for v := 1; v <= n; v++ {
+		t := model.NewTuple(schema)
+		t.Set("name", model.S("syn-entity"))
+		t.Set("version", model.I(int64(v)))
+		for i := 0; i < 9; i++ {
+			a := fmt.Sprintf("c%d", i)
+			switch {
+			case rng.Float64() < 0.05:
+				// null
+			case v >= change[i]:
+				t.Set(a, model.S(fmt.Sprintf("c%d-true", i)))
+			default:
+				t.Set(a, model.S(fmt.Sprintf("c%d-old", i)))
+			}
+		}
+		for i := 0; i < 5; i++ {
+			a := fmt.Sprintf("m%d", i)
+			if rng.Float64() < 0.7 {
+				t.Set(a, model.S(fmt.Sprintf("m%d-noise%d", i, rng.Intn(20))))
+			} else {
+				t.Set(a, truthVal(truth, a))
+			}
+		}
+		for i := 0; i < 4; i++ {
+			a := fmt.Sprintf("f%d", i)
+			// Free attributes draw from a sizeable domain so the ranked
+			// candidate lists are non-trivial.
+			t.Set(a, model.S(fmt.Sprintf("f%d-v%d", i, rng.Intn(40))))
+		}
+		ie.MustAdd(t)
+	}
+
+	// Master: one matching row plus noise rows for other entities.
+	masterAttrs := []string{"name", "m0", "m1", "m2", "m3", "m4"}
+	ms := model.MustSchema("Syn_master", masterAttrs...)
+	im := model.NewMasterRelation(ms)
+	matchAt := 0
+	if cfg.Im > 1 {
+		matchAt = rng.Intn(cfg.Im)
+	}
+	for r := 0; r < cfg.Im; r++ {
+		row := model.NewTuple(ms)
+		if r == matchAt {
+			row.Set("name", model.S("syn-entity"))
+			for i := 0; i < 5; i++ {
+				row.Set(fmt.Sprintf("m%d", i), truthVal(truth, fmt.Sprintf("m%d", i)))
+			}
+		} else {
+			row.Set("name", model.S(fmt.Sprintf("other-%d", r)))
+			for i := 0; i < 5; i++ {
+				row.Set(fmt.Sprintf("m%d", i), model.S(fmt.Sprintf("m%d-x%d", i, r)))
+			}
+		}
+		im.MustAdd(row)
+	}
+
+	return &Dataset{
+		Name:     "Syn",
+		Schema:   schema,
+		Entities: []Entity{{ID: "syn-entity", Instance: ie, Truth: truth}},
+		Master:   im,
+		Rules:    synRules(schema, ms, cfg.Rules),
+	}
+}
+
+func truthVal(t *model.Tuple, attr string) model.Value {
+	v, _ := t.Get(attr)
+	return v
+}
+
+// synRules builds ‖Σ‖ rules, 75% form (1) and 25% form (2), cycling
+// through rule templates so any prefix (for the ‖Σ‖-scaling experiment)
+// is still meaningful.
+func synRules(schema, ms *model.Schema, total int) *rule.Set {
+	var rules []rule.Rule
+	rules = append(rules, &rule.Form1{
+		RuleName: "cur-version",
+		LHS:      []rule.Pred{rule.Cmp(rule.T1("version"), rule.Lt, rule.T2("version"))},
+		RHS:      "version",
+	})
+	f1 := 1
+	f2 := 0
+	ci, mi, variant := 0, 0, 0
+	for len(rules) < total {
+		if f2*4 < len(rules) { // keep ≈25% form (2)
+			a := fmt.Sprintf("m%d", mi%5)
+			rules = append(rules, &rule.Form2{
+				RuleName:   fmt.Sprintf("master-%s-%d", a, mi),
+				Conds:      []rule.MasterCond{rule.CondMaster("name", "name")},
+				TargetAttr: a,
+				MasterAttr: a,
+			})
+			mi++
+			f2++
+			continue
+		}
+		a := fmt.Sprintf("c%d", ci%9)
+		var lhs []rule.Pred
+		if variant%2 == 0 {
+			lhs = []rule.Pred{
+				rule.Prec("version"),
+				rule.Cmp(rule.T2(a), rule.Ne, rule.C(model.NullValue())),
+			}
+		} else {
+			lhs = []rule.Pred{
+				rule.Cmp(rule.T1(a), rule.Eq, rule.C(model.NullValue())),
+				rule.Cmp(rule.T2(a), rule.Ne, rule.C(model.NullValue())),
+			}
+		}
+		rules = append(rules, &rule.Form1{
+			RuleName: fmt.Sprintf("cur-%s-%d", a, ci),
+			LHS:      lhs,
+			RHS:      a,
+		})
+		ci++
+		if ci%9 == 0 {
+			variant++
+		}
+		f1++
+	}
+	_ = f1
+	return rule.MustSet(schema, ms, rules...)
+}

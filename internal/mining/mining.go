@@ -1,0 +1,188 @@
+// Package mining discovers accuracy rules from training data with known
+// target tuples — the level-wise profiling approach sketched in the
+// Remark of Section 4 of the paper (and deferred there to future work):
+// pairs of tuples are grouped into classes by how their attribute values
+// relate, and a candidate rule is emitted when the class it defines is
+// (almost) contained in the class of pairs whose accuracy order agrees
+// with the ground truth.
+//
+// Two form-(1) rule shapes are searched:
+//
+//   - currency rules   t1[A] < t2[A] ∧ t2[B] ≠ null → t1 ⪯B t2
+//     (A an ordered attribute acting as a version/timestamp; includes
+//     the self case B = A)
+//   - correlation rules t1 ≺A t2 ∧ t2[B] ≠ null → t1 ⪯B t2
+//     (a more accurate A-value comes with a more accurate B-value)
+//
+// Evidence for "t1 ⪯B t2" on a training pair is judged against the true
+// target: the pair supports the rule when t2 carries the true B-value
+// and t1 does not, and refutes it when the opposite holds; pairs where
+// neither or both match are neutral. A rule is emitted when its support
+// and confidence clear the thresholds.
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/rule"
+)
+
+// Example is one training entity: a dirty instance plus its true tuple.
+type Example struct {
+	Instance *model.EntityInstance
+	Truth    *model.Tuple
+}
+
+// Options tunes the search.
+type Options struct {
+	// MinSupport is the minimum number of decisive training pairs;
+	// 0 means 20.
+	MinSupport int
+	// MinConfidence is the minimum fraction of decisive pairs supporting
+	// the rule; 0 means 0.95.
+	MinConfidence float64
+}
+
+// Candidate is a discovered rule with its statistics.
+type Candidate struct {
+	Rule       rule.Rule
+	Support    int     // decisive pairs
+	Confidence float64 // supporting / decisive
+}
+
+// Discover mines form-(1) accuracy rules from the training examples.
+// Candidates are returned in decreasing confidence (ties: decreasing
+// support, then rule name).
+func Discover(schema *model.Schema, examples []Example, opts Options) []Candidate {
+	if opts.MinSupport == 0 {
+		opts.MinSupport = 20
+	}
+	if opts.MinConfidence == 0 {
+		opts.MinConfidence = 0.95
+	}
+	na := schema.Arity()
+
+	// counts[hypothesis] = (supporting, refuting)
+	type key struct {
+		kind int // 0 = currency, 1 = correlation
+		a, b int
+	}
+	type tally struct{ yes, no int }
+	counts := map[key]*tally{}
+	bump := func(k key, support bool) {
+		t := counts[k]
+		if t == nil {
+			t = &tally{}
+			counts[k] = t
+		}
+		if support {
+			t.yes++
+		} else {
+			t.no++
+		}
+	}
+
+	for _, ex := range examples {
+		ie := ex.Instance
+		n := ie.Size()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				t1, t2 := ie.Tuple(i), ie.Tuple(j)
+				for a := 0; a < na; a++ {
+					va1, va2 := t1.At(a), t2.At(a)
+					truthA := ex.Truth.At(a)
+					// Currency premise: t1[A] < t2[A].
+					cmpLt := false
+					if c, ok := va1.Compare(va2); ok && c < 0 {
+						cmpLt = true
+					}
+					// Correlation premise proxy for t1 ≺A t2: t2 carries
+					// the true A-value and t1 carries a different one.
+					precA := !truthA.IsNull() && va2.Equal(truthA) &&
+						!va1.IsNull() && !va1.Equal(truthA)
+					if !cmpLt && !precA {
+						continue
+					}
+					for b := 0; b < na; b++ {
+						vb1, vb2 := t1.At(b), t2.At(b)
+						truthB := ex.Truth.At(b)
+						if truthB.IsNull() || vb2.IsNull() {
+							continue // the mined rules are null-guarded
+						}
+						m1, m2 := vb1.Equal(truthB), vb2.Equal(truthB)
+						if m1 == m2 {
+							continue // not decisive
+						}
+						// The rule claims t2's B-value is at least as
+						// accurate: supported when t2 matches the truth.
+						if cmpLt {
+							bump(key{0, a, b}, m2)
+						}
+						if precA && a != b {
+							bump(key{1, a, b}, m2)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	var out []Candidate
+	for k, t := range counts {
+		decisive := t.yes + t.no
+		if decisive < opts.MinSupport {
+			continue
+		}
+		conf := float64(t.yes) / float64(decisive)
+		if conf < opts.MinConfidence {
+			continue
+		}
+		aName, bName := schema.Attr(k.a), schema.Attr(k.b)
+		var r rule.Rule
+		switch k.kind {
+		case 0:
+			r = &rule.Form1{
+				RuleName: fmt.Sprintf("mined-cur-%s-%s", aName, bName),
+				LHS: []rule.Pred{
+					rule.Cmp(rule.T1(aName), rule.Lt, rule.T2(aName)),
+					rule.Cmp(rule.T2(bName), rule.Ne, rule.C(model.NullValue())),
+				},
+				RHS: bName,
+			}
+		default:
+			r = &rule.Form1{
+				RuleName: fmt.Sprintf("mined-corr-%s-%s", aName, bName),
+				LHS: []rule.Pred{
+					rule.Prec(aName),
+					rule.Cmp(rule.T2(bName), rule.Ne, rule.C(model.NullValue())),
+				},
+				RHS: bName,
+			}
+		}
+		out = append(out, Candidate{Rule: r, Support: decisive, Confidence: conf})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Rule.Name() < out[j].Rule.Name()
+	})
+	return out
+}
+
+// Rules extracts the rules of the candidates.
+func Rules(cands []Candidate) []rule.Rule {
+	out := make([]rule.Rule, len(cands))
+	for i, c := range cands {
+		out[i] = c.Rule
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package mining_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/gen"
+	"repro/internal/mining"
+	"repro/internal/rule"
+	"repro/internal/stats"
+)
+
+func trainTest(t *testing.T) (*gen.Dataset, []mining.Example, []gen.Entity) {
+	t.Helper()
+	cfg := gen.MedConfig()
+	cfg.NumEntities = 400
+	ds := gen.Generate(cfg)
+	var train []mining.Example
+	for _, e := range ds.Entities[:200] {
+		train = append(train, mining.Example{Instance: e.Instance, Truth: e.Truth})
+	}
+	return ds, train, ds.Entities[200:]
+}
+
+// TestDiscoverRecoversCurrencyRules: mining the Med training split must
+// rediscover the version→currency-attribute rules the generator encodes.
+func TestDiscoverRecoversCurrencyRules(t *testing.T) {
+	_, train, _ := trainTest(t)
+	cands := mining.Discover(train[0].Instance.Schema(), train, mining.Options{})
+	if len(cands) == 0 {
+		t.Fatalf("nothing discovered")
+	}
+	found := map[string]bool{}
+	for _, c := range cands {
+		found[c.Rule.Name()] = true
+		if c.Confidence < 0.95 {
+			t.Errorf("candidate %s below confidence threshold: %v", c.Rule.Name(), c.Confidence)
+		}
+	}
+	// version orders every currency attribute.
+	for _, b := range []string{"c0", "c3", "c8"} {
+		if !found["mined-cur-version-"+b] {
+			t.Errorf("missing mined rule version→%s; discovered: %v", b, keys(found))
+		}
+	}
+	// The version chain itself.
+	if !found["mined-cur-version-version"] {
+		t.Errorf("missing version self-rule")
+	}
+}
+
+// TestDiscoverRejectsNoise: free attributes carry no order signal, so
+// no rule may have a free attribute as its consequence. (Rules *keyed*
+// on a free attribute can be legitimate: e.g. any premise paired with a
+// primary attribute as target is supported because primaries are only
+// ever non-null when true — a ϕ7-like data property.)
+func TestDiscoverRejectsNoise(t *testing.T) {
+	_, train, _ := trainTest(t)
+	cands := mining.Discover(train[0].Instance.Schema(), train, mining.Options{})
+	for _, c := range cands {
+		f1, ok := c.Rule.(*rule.Form1)
+		if !ok {
+			t.Fatalf("mined rule is not form (1): %T", c.Rule)
+		}
+		if strings.HasPrefix(f1.RHS, "f") {
+			t.Errorf("rule targeting free attribute discovered: %s (conf %.2f, support %d)",
+				c.Rule.Name(), c.Confidence, c.Support)
+		}
+	}
+}
+
+// TestMinedRulesGeneralise: chase the held-out entities with ONLY the
+// mined rules; the deduced values must be overwhelmingly correct.
+func TestMinedRulesGeneralise(t *testing.T) {
+	ds, train, holdout := trainTest(t)
+	cands := mining.Discover(ds.Schema, train, mining.Options{})
+	rs, err := rule.NewSet(ds.Schema, nil, mining.Rules(cands)...)
+	if err != nil {
+		t.Fatalf("mined rules invalid: %v", err)
+	}
+	var correct, deduced stats.Counter
+	for _, e := range holdout {
+		g, err := chase.NewGrounding(chase.Spec{Ie: e.Instance, Rules: rs}, chase.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := g.Run(nil)
+		if !res.CR {
+			// Mined rules may rarely conflict on noisy entities; count
+			// but do not fail.
+			continue
+		}
+		for a := 0; a < ds.Schema.Arity(); a++ {
+			v := res.Target.At(a)
+			deduced.Add(!v.IsNull())
+			if !v.IsNull() {
+				correct.Add(v.Equal(e.Truth.At(a)))
+			}
+		}
+	}
+	t.Logf("mined rules: deduced %.2f of attributes, %.2f correct", deduced.Rate(), correct.Rate())
+	if deduced.Rate() < 0.3 {
+		t.Errorf("mined rules deduce too little: %.2f", deduced.Rate())
+	}
+	if correct.Rate() < 0.9 {
+		t.Errorf("mined rules not precise: %.2f", correct.Rate())
+	}
+}
+
+// TestThresholds: raising support/confidence shrinks the candidate set.
+func TestThresholds(t *testing.T) {
+	_, train, _ := trainTest(t)
+	schema := train[0].Instance.Schema()
+	loose := mining.Discover(schema, train, mining.Options{MinSupport: 5, MinConfidence: 0.6})
+	tight := mining.Discover(schema, train, mining.Options{MinSupport: 200, MinConfidence: 0.99})
+	if len(tight) > len(loose) {
+		t.Errorf("tight thresholds found more rules (%d > %d)", len(tight), len(loose))
+	}
+	for i := 1; i < len(loose); i++ {
+		if loose[i].Confidence > loose[i-1].Confidence {
+			t.Errorf("candidates not sorted by confidence")
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

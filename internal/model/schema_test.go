@@ -1,0 +1,181 @@
+package model
+
+import "testing"
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema("r", "a", "b", "c")
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	if s.Arity() != 3 || s.Name() != "r" {
+		t.Errorf("arity/name wrong: %d %q", s.Arity(), s.Name())
+	}
+	if s.Index("b") != 1 || s.Index("missing") != -1 {
+		t.Errorf("Index wrong")
+	}
+	if !s.Has("c") || s.Has("") {
+		t.Errorf("Has wrong")
+	}
+	if s.String() != "r(a, b, c)" {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	if _, err := NewSchema("", "a"); err == nil {
+		t.Errorf("empty name should fail")
+	}
+	if _, err := NewSchema("r"); err == nil {
+		t.Errorf("no attributes should fail")
+	}
+	if _, err := NewSchema("r", "a", "a"); err == nil {
+		t.Errorf("duplicate attribute should fail")
+	}
+	if _, err := NewSchema("r", "a", ""); err == nil {
+		t.Errorf("empty attribute should fail")
+	}
+}
+
+func TestTupleBasics(t *testing.T) {
+	s := MustSchema("r", "a", "b")
+	tp := NewTuple(s)
+	if tp.Complete() {
+		t.Errorf("fresh tuple should be incomplete")
+	}
+	if got := tp.NullAttrs(); len(got) != 2 {
+		t.Errorf("NullAttrs = %v", got)
+	}
+	if !tp.Set("a", S("x")) {
+		t.Errorf("Set failed")
+	}
+	if tp.Set("zz", S("x")) {
+		t.Errorf("Set on missing attribute should fail")
+	}
+	v, ok := tp.Get("a")
+	if !ok || !v.Equal(S("x")) {
+		t.Errorf("Get = %v %v", v, ok)
+	}
+	if _, ok := tp.Get("zz"); ok {
+		t.Errorf("Get on missing attribute should fail")
+	}
+	tp.Set("b", I(1))
+	if !tp.Complete() {
+		t.Errorf("tuple should be complete")
+	}
+	cl := tp.Clone()
+	cl.Set("a", S("y"))
+	if v, _ := tp.Get("a"); !v.Equal(S("x")) {
+		t.Errorf("Clone aliases the original")
+	}
+	if tp.String() != "(x, 1)" {
+		t.Errorf("String() = %q", tp.String())
+	}
+}
+
+func TestTupleEqualKey(t *testing.T) {
+	s := MustSchema("r", "a", "b")
+	t1 := MustTuple(s, S("x"), I(1))
+	t2 := MustTuple(s, S("x"), I(1))
+	t3 := MustTuple(s, S("x"), I(2))
+	if !t1.EqualTo(t2) || t1.EqualTo(t3) {
+		t.Errorf("EqualTo wrong")
+	}
+	if t1.Key() != t2.Key() || t1.Key() == t3.Key() {
+		t.Errorf("Key wrong")
+	}
+}
+
+func TestTupleOfArity(t *testing.T) {
+	s := MustSchema("r", "a", "b")
+	if _, err := TupleOf(s, S("x")); err == nil {
+		t.Errorf("short tuple should fail")
+	}
+}
+
+func TestEntityInstance(t *testing.T) {
+	s := MustSchema("r", "a")
+	ie := NewEntityInstance(s)
+	if ie.Size() != 0 {
+		t.Errorf("fresh instance non-empty")
+	}
+	i, err := ie.AddValues(S("x"))
+	if err != nil || i != 0 {
+		t.Fatalf("AddValues: %v %d", err, i)
+	}
+	ie.MustAdd(MustTuple(s, S("y")))
+	if ie.Size() != 2 {
+		t.Errorf("Size = %d", ie.Size())
+	}
+	if !ie.Value(1, 0).Equal(S("y")) {
+		t.Errorf("Value wrong")
+	}
+	other := MustSchema("q", "a")
+	if _, err := ie.Add(MustTuple(other, S("z"))); err == nil {
+		t.Errorf("cross-schema add should fail")
+	}
+	cl := ie.Clone()
+	cl.Tuple(0).Set("a", S("z"))
+	if !ie.Value(0, 0).Equal(S("x")) {
+		t.Errorf("Clone aliases")
+	}
+}
+
+func TestMasterRelation(t *testing.T) {
+	ms := MustSchema("m", "a", "b")
+	im := NewMasterRelation(ms)
+	if im.Size() != 0 {
+		t.Errorf("fresh master non-empty")
+	}
+	if err := im.AddValues(S("x"), I(1)); err != nil {
+		t.Fatalf("AddValues: %v", err)
+	}
+	im.MustAdd(MustTuple(ms, S("y"), I(2)))
+	if im.Size() != 2 {
+		t.Errorf("Size = %d", im.Size())
+	}
+	tr := im.Truncate(1)
+	if tr.Size() != 1 || im.Size() != 2 {
+		t.Errorf("Truncate wrong: %d %d", tr.Size(), im.Size())
+	}
+	if im.Truncate(99).Size() != 2 {
+		t.Errorf("Truncate beyond size wrong")
+	}
+	var nilIm *MasterRelation
+	if nilIm.Size() != 0 || nilIm.Truncate(3) != nil || nilIm.Tuples() != nil {
+		t.Errorf("nil master should behave as empty")
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	s := MustSchema("r", "a")
+	ie := NewEntityInstance(s)
+	ie.MustAdd(MustTuple(s, S("x")))
+	ie.MustAdd(MustTuple(s, S("y")))
+	ie.MustAdd(MustTuple(s, S("x")))
+	ie.MustAdd(MustTuple(s, NullValue()))
+
+	ms := MustSchema("m", "a")
+	im := NewMasterRelation(ms)
+	im.MustAdd(MustTuple(ms, S("z")))
+	im.MustAdd(MustTuple(ms, S("x")))
+
+	vals, counts := ActiveDomain(ie, im, "a")
+	if len(vals) != 3 {
+		t.Fatalf("domain = %v", vals)
+	}
+	if !vals[0].Equal(S("x")) || counts[0] != 2 {
+		t.Errorf("most frequent should be x(2), got %v(%d)", vals[0], counts[0])
+	}
+	if !vals[1].Equal(S("y")) || counts[1] != 1 {
+		t.Errorf("second should be y(1), got %v(%d)", vals[1], counts[1])
+	}
+	if !vals[2].Equal(S("z")) || counts[2] != 0 {
+		t.Errorf("master-only value should be z(0), got %v(%d)", vals[2], counts[2])
+	}
+
+	// Attribute not covered by master.
+	vals2, _ := ActiveDomain(ie, nil, "a")
+	if len(vals2) != 2 {
+		t.Errorf("without master: %v", vals2)
+	}
+}

@@ -1,0 +1,153 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{NullValue(), Null, "null"},
+		{S("hi"), String, "hi"},
+		{I(42), Int, "42"},
+		{I(-7), Int, "-7"},
+		{F(2.5), Float, "2.5"},
+		{B(true), Bool, "true"},
+		{B(false), Bool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		eq   bool
+	}{
+		{NullValue(), NullValue(), true},
+		{NullValue(), S(""), false},
+		{S("a"), S("a"), true},
+		{S("a"), S("b"), false},
+		{I(3), I(3), true},
+		{I(3), F(3), true}, // numeric cross-kind equality
+		{F(3.5), I(3), false},
+		{B(true), B(true), true},
+		{B(true), I(1), false},
+		{S("3"), I(3), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.eq {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.eq)
+		}
+		if got := c.b.Equal(c.a); got != c.eq {
+			t.Errorf("Equal not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		c    int
+		ok   bool
+	}{
+		{I(1), I(2), -1, true},
+		{I(2), I(1), 1, true},
+		{I(2), F(2), 0, true},
+		{F(1.5), I(2), -1, true},
+		{S("a"), S("b"), -1, true},
+		{S("b"), S("a"), 1, true},
+		{B(false), B(true), -1, true},
+		{NullValue(), I(1), 0, false},
+		{I(1), NullValue(), 0, false},
+		{S("1"), I(1), 0, false},
+		{B(true), I(1), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := c.a.Compare(c.b)
+		if ok != c.ok || (ok && got != c.c) {
+			t.Errorf("%v.Compare(%v) = (%d, %v), want (%d, %v)", c.a, c.b, got, ok, c.c, c.ok)
+		}
+	}
+}
+
+func TestValueKeyConsistency(t *testing.T) {
+	// Equal values must share a key; these pairs are equal cross-kind.
+	if I(3).Key() != F(3).Key() {
+		t.Errorf("I(3) and F(3) should share a key")
+	}
+	if I(3).Key() == S("3").Key() {
+		t.Errorf("I(3) and S(\"3\") must not share a key")
+	}
+	if NullValue().Key() == S("").Key() {
+		t.Errorf("null and empty string must not share a key")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"", NullValue()},
+		{"null", NullValue()},
+		{"true", B(true)},
+		{"false", B(false)},
+		{"42", I(42)},
+		{"-13", I(-13)},
+		{"2.5", F(2.5)},
+		{"hello", S("hello")},
+		{`"42"`, S("42")},
+		{`"quoted string"`, S("quoted string")},
+	}
+	for _, c := range cases {
+		if got := Parse(c.in); !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("Parse(%q) = %v (%v), want %v (%v)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(i int64) bool {
+		return Parse(I(i).String()).Equal(I(i))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(s string) bool {
+		v := Parse(S(s).Quote())
+		return v.Kind() == String && v.Str() == s
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	// Antisymmetry and consistency with Equal over ints.
+	f := func(a, b int64) bool {
+		va, vb := I(a), I(b)
+		c1, ok1 := va.Compare(vb)
+		c2, ok2 := vb.Compare(va)
+		if !ok1 || !ok2 {
+			return false
+		}
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,341 @@
+// Package order implements the accuracy orders of Section 2 of the
+// paper: for each attribute Ai, a binary relation ⪯Ai over the tuples of
+// an entity instance, kept transitively closed as the chase extends it
+// one pair at a time.
+//
+// The relation stored here is the weak order ⪯Ai ("t1[Ai] = t2[Ai] or
+// t1 ≺Ai t2"). The strict order ≺Ai is derived: t1 ≺Ai t2 iff
+// t1 ⪯Ai t2 and t1[Ai] ≠ t2[Ai]. A relation becomes *conflicted* — and
+// the chase step that caused it invalid — when t1 ⪯ t2 and t2 ⪯ t1 both
+// hold for tuples with different Ai values.
+//
+// Relations are dense bitset matrices: Ie is small in practice (the
+// paper reports instances of 1–90 tuples on real data and up to 1500 on
+// synthetic data), and bitset rows make transitive-closure maintenance,
+// bulk insertion and cloning cheap.
+package order
+
+import "math/bits"
+
+// Pair is an ordered pair (From ⪯ To) of tuple indices.
+type Pair struct{ From, To int }
+
+// Relation is the weak accuracy order ⪯ on one attribute over tuples
+// 0..n-1 of an entity instance. It maintains its own transitive closure
+// incrementally. Create one with New.
+type Relation struct {
+	n    int
+	w    int      // 64-bit words per row
+	rows []uint64 // n rows of w words; bit j of row i means i ⪯ j
+}
+
+// New creates an empty relation over n tuples.
+func New(n int) *Relation {
+	w := (n + 63) / 64
+	if w == 0 {
+		w = 1
+	}
+	return &Relation{n: n, w: w, rows: make([]uint64, n*w)}
+}
+
+// Size returns the number of tuples the relation ranges over.
+func (r *Relation) Size() int { return r.n }
+
+// Has reports whether i ⪯ j has been derived.
+func (r *Relation) Has(i, j int) bool {
+	return r.rows[i*r.w+j>>6]&(1<<(uint(j)&63)) != 0
+}
+
+func (r *Relation) set(i, j int) {
+	r.rows[i*r.w+j>>6] |= 1 << (uint(j) & 63)
+}
+
+// row returns the slice of words forming row i.
+func (r *Relation) row(i int) []uint64 { return r.rows[i*r.w : (i+1)*r.w] }
+
+// Add inserts the pair i ⪯ j and restores transitive closure. It returns
+// the pairs that are newly derived, including (i, j) itself; adding an
+// already-derived pair returns nil. Reflexive pairs (i == j) are
+// permitted and harmless. Conflict detection is the caller's concern:
+// inspect the returned pairs with Mutual.
+func (r *Relation) Add(i, j int) []Pair {
+	if r.Has(i, j) {
+		return nil
+	}
+	w := r.w
+	// mask = successors of j, plus j itself.
+	mask := make([]uint64, w)
+	copy(mask, r.row(j))
+	mask[j>>6] |= 1 << (uint(j) & 63)
+
+	var added []Pair
+	apply := func(p int) {
+		row := r.row(p)
+		base := p
+		for wi := 0; wi < w; wi++ {
+			diff := mask[wi] &^ row[wi]
+			if diff == 0 {
+				continue
+			}
+			row[wi] |= diff
+			for diff != 0 {
+				b := diff & -diff
+				added = append(added, Pair{From: base, To: wi<<6 + bits.TrailingZeros64(b)})
+				diff &= diff - 1
+			}
+		}
+	}
+	apply(i)
+	for p := 0; p < r.n; p++ {
+		if p != i && r.Has(p, i) {
+			apply(p)
+		}
+	}
+	return added
+}
+
+// AddAllTo bulk-inserts x ⪯ g for every tuple x and every g in group,
+// restoring transitive closure, and calls visit for each newly derived
+// pair. It implements the axiom ϕ8: once te[A] is known, every tuple is
+// at most as accurate as the tuples carrying that value.
+func (r *Relation) AddAllTo(group []int, visit func(from, to int)) {
+	if len(group) == 0 {
+		return
+	}
+	w := r.w
+	mask := make([]uint64, w)
+	for _, g := range group {
+		row := r.row(g)
+		for wi := 0; wi < w; wi++ {
+			mask[wi] |= row[wi]
+		}
+		mask[g>>6] |= 1 << (uint(g) & 63)
+	}
+	for p := 0; p < r.n; p++ {
+		row := r.row(p)
+		for wi := 0; wi < w; wi++ {
+			diff := mask[wi] &^ row[wi]
+			if diff == 0 {
+				continue
+			}
+			row[wi] |= diff
+			for diff != 0 {
+				b := diff & -diff
+				visit(p, wi<<6+bits.TrailingZeros64(b))
+				diff &= diff - 1
+			}
+		}
+	}
+}
+
+// SetClique marks every ordered pair within members (including reflexive
+// pairs) as derived, without closure propagation. It is used to seed the
+// initial relation with the value-equality cliques of axiom ϕ9; callers
+// must only use it on an empty relation where cliques are closure-safe.
+func (r *Relation) SetClique(members []int) {
+	if len(members) == 0 {
+		return
+	}
+	w := r.w
+	mask := make([]uint64, w)
+	for _, m := range members {
+		mask[m>>6] |= 1 << (uint(m) & 63)
+	}
+	for _, m := range members {
+		row := r.row(m)
+		for wi := 0; wi < w; wi++ {
+			row[wi] |= mask[wi]
+		}
+	}
+}
+
+// SetBelow marks lo ⪯ hi for every lo in los and hi in his, without
+// closure propagation. It seeds the initial relation with axiom ϕ7
+// (null values have the lowest accuracy); callers must ensure closure
+// safety as for SetClique (nulls form a clique that reaches all
+// non-null tuples, which have no outgoing edges yet).
+func (r *Relation) SetBelow(los, his []int) {
+	if len(los) == 0 || len(his) == 0 {
+		return
+	}
+	w := r.w
+	mask := make([]uint64, w)
+	for _, h := range his {
+		mask[h>>6] |= 1 << (uint(h) & 63)
+	}
+	for _, l := range los {
+		row := r.row(l)
+		for wi := 0; wi < w; wi++ {
+			row[wi] |= mask[wi]
+		}
+	}
+}
+
+// Mutual reports whether both i ⪯ j and j ⪯ i hold.
+func (r *Relation) Mutual(i, j int) bool {
+	return r.Has(i, j) && r.Has(j, i)
+}
+
+// Max returns the index of a tuple t such that every other tuple t'
+// satisfies t' ⪯ t — the λ function of the chase — or -1 when no such
+// maximum exists. With n == 1 the single tuple is vacuously maximal.
+// When several tuples dominate all others the smallest index is
+// returned; in a conflict-free relation they carry the same value.
+func (r *Relation) Max() int {
+	n := r.n
+	if n == 0 {
+		return -1
+	}
+	if n == 1 {
+		return 0
+	}
+outer:
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			if !r.Has(i, j) {
+				continue outer
+			}
+		}
+		return j
+	}
+	return -1
+}
+
+// ColumnCounts returns, for each tuple j, the number of tuples i ≠ j
+// with i ⪯ j. A tuple j is maximal exactly when its count is n-1.
+func (r *Relation) ColumnCounts() []int {
+	counts := make([]int, r.n)
+	for i := 0; i < r.n; i++ {
+		row := r.row(i)
+		for wi, word := range row {
+			for word != 0 {
+				b := word & -word
+				j := wi<<6 + bits.TrailingZeros64(b)
+				if j != i {
+					counts[j]++
+				}
+				word &= word - 1
+			}
+		}
+	}
+	return counts
+}
+
+// VisitPairs calls visit for every derived pair i ⪯ j with i ≠ j.
+func (r *Relation) VisitPairs(visit func(i, j int)) {
+	for i := 0; i < r.n; i++ {
+		row := r.row(i)
+		for wi, word := range row {
+			for word != 0 {
+				b := word & -word
+				j := wi<<6 + bits.TrailingZeros64(b)
+				if j != i {
+					visit(i, j)
+				}
+				word &= word - 1
+			}
+		}
+	}
+}
+
+// Pairs returns every derived pair (i ⪯ j) with i ≠ j in row-major
+// order. Intended for tests and debugging.
+func (r *Relation) Pairs() []Pair {
+	var out []Pair
+	r.VisitPairs(func(i, j int) { out = append(out, Pair{From: i, To: j}) })
+	return out
+}
+
+// Len returns the number of derived non-reflexive pairs.
+func (r *Relation) Len() int {
+	c := 0
+	r.VisitPairs(func(_, _ int) { c++ })
+	return c
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{n: r.n, w: r.w, rows: make([]uint64, len(r.rows))}
+	copy(out.rows, r.rows)
+	return out
+}
+
+// CopyFrom overwrites r with src's contents; the relations must have the
+// same size. It lets a chase runner reuse allocations across runs.
+func (r *Relation) CopyFrom(src *Relation) {
+	copy(r.rows, src.rows)
+}
+
+// TransitiveOK verifies the relation is transitively closed; it is used
+// by property tests.
+func (r *Relation) TransitiveOK() bool {
+	n := r.n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || !r.Has(i, j) {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if r.Has(j, k) && !r.Has(i, k) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Set is the collection of accuracy orders for all attributes of a
+// schema: one Relation per attribute, as in the accuracy instance
+// D = (Ie, ⪯A1, ..., ⪯An).
+type Set struct {
+	n     int
+	attrs int
+	rels  []*Relation
+}
+
+// NewSet creates empty relations for attrs attributes over n tuples.
+func NewSet(attrs, n int) *Set {
+	s := &Set{n: n, attrs: attrs, rels: make([]*Relation, attrs)}
+	for i := range s.rels {
+		s.rels[i] = New(n)
+	}
+	return s
+}
+
+// Attrs returns the number of attributes.
+func (s *Set) Attrs() int { return s.attrs }
+
+// Size returns the number of tuples each relation ranges over.
+func (s *Set) Size() int { return s.n }
+
+// Attr returns the relation for attribute position a.
+func (s *Set) Attr(a int) *Relation { return s.rels[a] }
+
+// Clone deep-copies all relations.
+func (s *Set) Clone() *Set {
+	out := &Set{n: s.n, attrs: s.attrs, rels: make([]*Relation, s.attrs)}
+	for i, r := range s.rels {
+		out.rels[i] = r.Clone()
+	}
+	return out
+}
+
+// CopyFrom overwrites s with src's contents; shapes must match.
+func (s *Set) CopyFrom(src *Set) {
+	for i, r := range s.rels {
+		r.CopyFrom(src.rels[i])
+	}
+}
+
+// TotalPairs sums Len over all attributes.
+func (s *Set) TotalPairs() int {
+	t := 0
+	for _, r := range s.rels {
+		t += r.Len()
+	}
+	return t
+}

@@ -1,0 +1,302 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddBasics(t *testing.T) {
+	r := New(3)
+	if r.Has(0, 1) {
+		t.Fatalf("fresh relation should be empty")
+	}
+	added := r.Add(0, 1)
+	if len(added) != 1 || added[0] != (Pair{0, 1}) {
+		t.Fatalf("Add(0,1) = %v", added)
+	}
+	if !r.Has(0, 1) || r.Has(1, 0) {
+		t.Errorf("Has wrong after Add")
+	}
+	if r.Add(0, 1) != nil {
+		t.Errorf("re-adding should return nil")
+	}
+}
+
+func TestAddTransitivity(t *testing.T) {
+	r := New(4)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	if !r.Has(0, 2) {
+		t.Errorf("transitive pair 0⪯2 missing")
+	}
+	added := r.Add(2, 3)
+	// 2⪯3 must also derive 0⪯3 and 1⪯3.
+	want := map[Pair]bool{{2, 3}: true, {0, 3}: true, {1, 3}: true}
+	if len(added) != 3 {
+		t.Fatalf("Add(2,3) = %v", added)
+	}
+	for _, p := range added {
+		if !want[p] {
+			t.Errorf("unexpected derived pair %v", p)
+		}
+	}
+	if !r.TransitiveOK() {
+		t.Errorf("closure violated")
+	}
+}
+
+func TestReflexiveAdd(t *testing.T) {
+	r := New(2)
+	added := r.Add(0, 0)
+	if len(added) != 1 || !r.Has(0, 0) {
+		t.Errorf("reflexive add failed: %v", added)
+	}
+}
+
+func TestMax(t *testing.T) {
+	r := New(3)
+	if r.Max() != -1 {
+		t.Errorf("empty relation has no max")
+	}
+	r.Add(0, 2)
+	if r.Max() != -1 {
+		t.Errorf("partial order has no max yet")
+	}
+	r.Add(1, 2)
+	if r.Max() != 2 {
+		t.Errorf("Max = %d, want 2", r.Max())
+	}
+	if New(1).Max() != 0 {
+		t.Errorf("singleton max should be 0")
+	}
+	if New(0).Max() != -1 {
+		t.Errorf("empty-size relation max should be -1")
+	}
+}
+
+func TestMutual(t *testing.T) {
+	r := New(2)
+	r.Add(0, 1)
+	if r.Mutual(0, 1) {
+		t.Errorf("one direction is not mutual")
+	}
+	r.Add(1, 0)
+	if !r.Mutual(0, 1) || !r.Mutual(1, 0) {
+		t.Errorf("Mutual failed")
+	}
+}
+
+func TestColumnCounts(t *testing.T) {
+	r := New(3)
+	r.Add(0, 2)
+	r.Add(1, 2)
+	r.Add(0, 0) // reflexive pairs are not counted
+	c := r.ColumnCounts()
+	if c[0] != 0 || c[1] != 0 || c[2] != 2 {
+		t.Errorf("ColumnCounts = %v", c)
+	}
+}
+
+func TestSetCliqueAndBelow(t *testing.T) {
+	r := New(5)
+	r.SetClique([]int{0, 1})
+	r.SetClique([]int{3, 4})
+	r.SetBelow([]int{3, 4}, []int{0, 1, 2})
+	if !r.Has(0, 1) || !r.Has(1, 0) || !r.Has(0, 0) {
+		t.Errorf("clique pairs missing")
+	}
+	if !r.Has(3, 2) || !r.Has(4, 0) {
+		t.Errorf("below pairs missing")
+	}
+	if r.Has(2, 3) {
+		t.Errorf("unexpected pair 2⪯3")
+	}
+	if !r.TransitiveOK() {
+		t.Errorf("seed state must be closed")
+	}
+}
+
+func TestAddAllTo(t *testing.T) {
+	r := New(4)
+	r.SetClique([]int{1, 2}) // the value group
+	var derived []Pair
+	r.AddAllTo([]int{1, 2}, func(i, j int) { derived = append(derived, Pair{i, j}) })
+	for i := 0; i < 4; i++ {
+		if !r.Has(i, 1) || !r.Has(i, 2) {
+			t.Errorf("tuple %d should reach the group", i)
+		}
+	}
+	if !r.TransitiveOK() {
+		t.Errorf("closure violated")
+	}
+	// Derived pairs must exclude the pre-existing clique pairs.
+	for _, p := range derived {
+		if (p.From == 1 || p.From == 2) && (p.To == 1 || p.To == 2) {
+			t.Errorf("pre-existing pair %v reported as derived", p)
+		}
+	}
+}
+
+func TestAddAllToPropagation(t *testing.T) {
+	// Group members already reach 3; everyone must now reach 3 too.
+	r := New(4)
+	r.Add(1, 3)
+	r.AddAllTo([]int{1}, func(int, int) {})
+	if !r.Has(0, 3) || !r.Has(2, 3) {
+		t.Errorf("AddAllTo must propagate the group's successors")
+	}
+	if !r.TransitiveOK() {
+		t.Errorf("closure violated")
+	}
+}
+
+func TestCloneCopyFrom(t *testing.T) {
+	r := New(3)
+	r.Add(0, 1)
+	c := r.Clone()
+	c.Add(1, 2)
+	if r.Has(1, 2) {
+		t.Errorf("Clone aliases the original")
+	}
+	r2 := New(3)
+	r2.CopyFrom(c)
+	if !r2.Has(0, 2) {
+		t.Errorf("CopyFrom lost pairs")
+	}
+}
+
+func TestPairsLen(t *testing.T) {
+	r := New(3)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	if r.Len() != 3 { // 0⪯1, 1⪯2, 0⪯2
+		t.Errorf("Len = %d", r.Len())
+	}
+	if len(r.Pairs()) != 3 {
+		t.Errorf("Pairs = %v", r.Pairs())
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet(2, 3)
+	if s.Attrs() != 2 || s.Size() != 3 {
+		t.Errorf("shape wrong")
+	}
+	s.Attr(0).Add(0, 1)
+	if s.Attr(1).Has(0, 1) {
+		t.Errorf("attributes must be independent")
+	}
+	c := s.Clone()
+	c.Attr(0).Add(1, 2)
+	if s.Attr(0).Has(1, 2) {
+		t.Errorf("Clone aliases")
+	}
+	if s.TotalPairs() != 1 {
+		t.Errorf("TotalPairs = %d", s.TotalPairs())
+	}
+}
+
+// TestClosureProperty: after any random sequence of Adds the relation is
+// transitively closed, and Has(i,j) matches reachability in the inserted
+// edge set.
+func TestClosureProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		r := New(n)
+		edges := make([][]bool, n)
+		for i := range edges {
+			edges[i] = make([]bool, n)
+		}
+		for k := 0; k < 12; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			r.Add(i, j)
+			edges[i][j] = true
+		}
+		if !r.TransitiveOK() {
+			return false
+		}
+		// Floyd-Warshall reference reachability.
+		reach := make([][]bool, n)
+		for i := range reach {
+			reach[i] = append([]bool(nil), edges[i]...)
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if reach[i][k] && reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Has(i, j) != reach[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAddReportsExactlyNewPairs: the pairs returned by Add are exactly
+// the delta of the relation.
+func TestAddReportsExactlyNewPairs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		r := New(n)
+		total := 0
+		for k := 0; k < 10; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			before := countAll(r)
+			added := r.Add(i, j)
+			after := countAll(r)
+			if after-before != len(added) {
+				return false
+			}
+			total += len(added)
+		}
+		return total == countAll(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countAll(r *Relation) int {
+	c := 0
+	for i := 0; i < r.Size(); i++ {
+		for j := 0; j < r.Size(); j++ {
+			if r.Has(i, j) {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+func TestLargeRelation(t *testing.T) {
+	// Exercise multi-word bitset rows (n > 64).
+	n := 200
+	r := New(n)
+	for i := 0; i < n-1; i++ {
+		r.Add(i, i+1)
+	}
+	if !r.Has(0, n-1) {
+		t.Errorf("chain closure missing")
+	}
+	counts := r.ColumnCounts()
+	if counts[n-1] != n-1 {
+		t.Errorf("count[%d] = %d, want %d", n-1, counts[n-1], n-1)
+	}
+	if r.Max() != n-1 {
+		t.Errorf("Max = %d", r.Max())
+	}
+}

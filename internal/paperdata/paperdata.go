@@ -1,0 +1,139 @@
+// Package paperdata encodes the running example of the paper — the
+// Michael Jordan 1994-95 season statistics of Tables 1 and 2 and the
+// accuracy rules ϕ1–ϕ12 of Table 3 and Example 3 — as a reusable
+// fixture. The golden tests, the quickstart example and the
+// documentation all build on it.
+package paperdata
+
+import (
+	"repro/internal/model"
+	"repro/internal/rule"
+)
+
+// Attribute names of the stat relation (Table 1).
+const (
+	FN       = "FN"
+	MN       = "MN"
+	LN       = "LN"
+	Rnds     = "rnds"
+	TotalPts = "totalPts"
+	JNo      = "J#"
+	League   = "league"
+	Team     = "team"
+	Arena    = "arena"
+)
+
+// StatSchema returns the schema of the stat relation of Table 1.
+func StatSchema() *model.Schema {
+	return model.MustSchema("stat", FN, MN, LN, Rnds, TotalPts, JNo, League, Team, Arena)
+}
+
+// NBASchema returns the schema of the nba master relation of Table 2.
+func NBASchema() *model.Schema {
+	return model.MustSchema("nba", "FN", "LN", "league", "season", "team")
+}
+
+// Stat returns the entity instance of Table 1: four tuples about
+// Michael Jordan's 1994-95 season, with conflicting and stale values.
+func Stat() *model.EntityInstance {
+	s := StatSchema()
+	ie := model.NewEntityInstance(s)
+	null := model.NullValue()
+	ie.MustAdd(model.MustTuple(s,
+		model.S("MJ"), null, null, model.I(16), model.I(424), model.I(45),
+		model.S("NBA"), model.S("Chicago"), model.S("Chicago Stadium")))
+	ie.MustAdd(model.MustTuple(s,
+		model.S("Michael"), null, model.S("Jordan"), model.I(27), model.I(772), model.I(23),
+		model.S("NBA"), model.S("Chicago Bulls"), model.S("United Center")))
+	ie.MustAdd(model.MustTuple(s,
+		model.S("Michael"), null, model.S("Jordan"), model.I(1), model.I(19), model.I(45),
+		model.S("NBA"), model.S("Chicago Bulls"), model.S("United Center")))
+	ie.MustAdd(model.MustTuple(s,
+		model.S("Michael"), model.S("Jeffrey"), model.S("Jordan"), model.I(127), model.I(51), model.I(45),
+		model.S("SL"), model.S("Birmingham Barons"), model.S("Regions Park")))
+	return ie
+}
+
+// NBA returns the master relation of Table 2.
+func NBA() *model.MasterRelation {
+	s := NBASchema()
+	im := model.NewMasterRelation(s)
+	im.MustAdd(model.MustTuple(s,
+		model.S("Michael"), model.S("Jordan"), model.S("NBA"), model.S("1994-95"), model.S("Chicago Bulls")))
+	im.MustAdd(model.MustTuple(s,
+		model.S("Michael"), model.S("Jordan"), model.S("NBA"), model.S("2001-02"), model.S("Washington Wizards")))
+	return im
+}
+
+// Rules returns ϕ1–ϕ6, ϕ10 and ϕ11 (ϕ7–ϕ9 are the built-in axioms; ϕ6
+// is split into one form-(2) rule per extracted attribute).
+func Rules() []rule.Rule {
+	return []rule.Rule{
+		// ϕ1: same league and fewer rounds means less current.
+		&rule.Form1{
+			RuleName: "phi1",
+			LHS: []rule.Pred{
+				rule.Cmp(rule.T1(League), rule.Eq, rule.T2(League)),
+				rule.Cmp(rule.T1(Rnds), rule.Lt, rule.T2(Rnds)),
+			},
+			RHS: Rnds,
+		},
+		// ϕ2: a more current rnds carries a more current jersey number.
+		&rule.Form1{RuleName: "phi2", LHS: []rule.Pred{rule.Prec(Rnds)}, RHS: JNo},
+		// ϕ3: ... and more current total points.
+		&rule.Form1{RuleName: "phi3", LHS: []rule.Pred{rule.Prec(Rnds)}, RHS: TotalPts},
+		// ϕ4: a more accurate league implies more accurate rounds.
+		&rule.Form1{RuleName: "phi4", LHS: []rule.Pred{rule.Prec(League)}, RHS: Rnds},
+		// ϕ5: a more accurate middle name implies a more accurate first name.
+		&rule.Form1{RuleName: "phi5", LHS: []rule.Pred{rule.Prec(MN)}, RHS: FN},
+		// ϕ6: master lookup by name and season (split per attribute).
+		&rule.Form2{
+			RuleName: "phi6a",
+			Conds: []rule.MasterCond{
+				rule.CondMaster(FN, "FN"),
+				rule.CondMaster(LN, "LN"),
+				rule.CondMasterConst("season", model.S("1994-95")),
+			},
+			TargetAttr: League,
+			MasterAttr: "league",
+		},
+		&rule.Form2{
+			RuleName: "phi6b",
+			Conds: []rule.MasterCond{
+				rule.CondMaster(FN, "FN"),
+				rule.CondMaster(LN, "LN"),
+				rule.CondMasterConst("season", model.S("1994-95")),
+			},
+			TargetAttr: Team,
+			MasterAttr: "team",
+		},
+		// ϕ10: a more accurate middle name implies a more accurate last name.
+		&rule.Form1{RuleName: "phi10", LHS: []rule.Pred{rule.Prec(MN)}, RHS: LN},
+		// ϕ11: a more accurate team implies a more accurate arena.
+		&rule.Form1{RuleName: "phi11", LHS: []rule.Pred{rule.Prec(Team)}, RHS: Arena},
+	}
+}
+
+// Phi12 is the extra rule of Example 6 that breaks the Church-Rosser
+// property: it prefers the SL league value over NBA, contradicting the
+// master data.
+func Phi12() rule.Rule {
+	return &rule.Form1{
+		RuleName: "phi12",
+		LHS: []rule.Pred{
+			rule.Cmp(rule.T1(League), rule.Eq, rule.C(model.S("NBA"))),
+			rule.Cmp(rule.T2(League), rule.Eq, rule.C(model.S("SL"))),
+		},
+		RHS: League,
+	}
+}
+
+// Target returns the complete target tuple deduced in Example 5:
+// (Michael, Jeffrey, Jordan, 27, 772, 23, NBA, Chicago Bulls, United
+// Center).
+func Target() *model.Tuple {
+	return model.MustTuple(StatSchema(),
+		model.S("Michael"), model.S("Jeffrey"), model.S("Jordan"),
+		model.I(27), model.I(772), model.I(23),
+		model.S("NBA"), model.S("Chicago Bulls"), model.S("United Center"))
+}

@@ -1,0 +1,83 @@
+package paperdata_test
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/paperdata"
+	"repro/internal/rule"
+)
+
+// TestTable1Shape checks the fixture against Table 1 of the paper.
+func TestTable1Shape(t *testing.T) {
+	ie := paperdata.Stat()
+	if ie.Size() != 4 {
+		t.Fatalf("stat has %d tuples, want 4", ie.Size())
+	}
+	if ie.Schema().Arity() != 9 {
+		t.Fatalf("stat has %d attributes, want 9", ie.Schema().Arity())
+	}
+	// Spot-check the cells the running example depends on.
+	if v, _ := ie.Tuple(0).Get(paperdata.FN); !v.Equal(model.S("MJ")) {
+		t.Errorf("t1[FN] = %v", v)
+	}
+	if v, _ := ie.Tuple(1).Get(paperdata.Rnds); !v.Equal(model.I(27)) {
+		t.Errorf("t2[rnds] = %v", v)
+	}
+	if v, _ := ie.Tuple(3).Get(paperdata.MN); !v.Equal(model.S("Jeffrey")) {
+		t.Errorf("t4[MN] = %v", v)
+	}
+	if v, _ := ie.Tuple(0).Get(paperdata.MN); !v.IsNull() {
+		t.Errorf("t1[MN] = %v, want null", v)
+	}
+	if v, _ := ie.Tuple(3).Get(paperdata.League); !v.Equal(model.S("SL")) {
+		t.Errorf("t4[league] = %v", v)
+	}
+}
+
+// TestTable2Shape checks the master relation against Table 2.
+func TestTable2Shape(t *testing.T) {
+	im := paperdata.NBA()
+	if im.Size() != 2 {
+		t.Fatalf("nba has %d tuples, want 2", im.Size())
+	}
+	if v, _ := im.Tuple(0).Get("season"); !v.Equal(model.S("1994-95")) {
+		t.Errorf("s1[season] = %v", v)
+	}
+	if v, _ := im.Tuple(1).Get("team"); !v.Equal(model.S("Washington Wizards")) {
+		t.Errorf("s2[team] = %v", v)
+	}
+}
+
+// TestRulesValidate: every fixture rule validates against the schemas,
+// and the form split matches Table 3 (7 form-1 + 2 form-2, since ϕ6 is
+// split per extracted attribute and ϕ7–ϕ9 are built-in axioms).
+func TestRulesValidate(t *testing.T) {
+	ie := paperdata.Stat()
+	im := paperdata.NBA()
+	rs, err := rule.NewSet(ie.Schema(), im.Schema(), paperdata.Rules()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Form1Only().Len(); got != 7 {
+		t.Errorf("form-1 rules = %d, want 7 (ϕ1–ϕ5, ϕ10, ϕ11)", got)
+	}
+	if got := rs.Form2Only().Len(); got != 2 {
+		t.Errorf("form-2 rules = %d, want 2 (ϕ6 split)", got)
+	}
+	if err := paperdata.Phi12().Validate(ie.Schema(), im.Schema()); err != nil {
+		t.Errorf("phi12 invalid: %v", err)
+	}
+}
+
+// TestTargetComplete: the Example 5 target fixture is complete and
+// schema-compatible.
+func TestTargetComplete(t *testing.T) {
+	tgt := paperdata.Target()
+	if !tgt.Complete() {
+		t.Fatalf("target has nulls: %v", tgt)
+	}
+	if v, _ := tgt.Get(paperdata.Arena); !v.Equal(model.S("United Center")) {
+		t.Errorf("target arena = %v", v)
+	}
+}

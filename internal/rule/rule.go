@@ -1,0 +1,455 @@
+// Package rule defines accuracy rules (ARs) as introduced in Section 2.1
+// of "Determining the Relative Accuracy of Attributes" (SIGMOD 2013).
+//
+// There are two forms of ARs. Form (1) is defined on pairs of tuples of
+// the entity instance:
+//
+//	∀ t1, t2 (R(t1) ∧ R(t2) ∧ ω → t1 ⪯_Ai t2)
+//
+// where ω is a conjunction of comparison predicates (t1[Al] op t2[Al],
+// ti[Al] op c with c a constant or te[Al]) and order predicates
+// (t1 ≺_Al t2 or t1 ⪯_Al t2). Form (2) extracts target values from a
+// master relation:
+//
+//	∀ tm (Rm(tm) ∧ ω → te[Ai] = tm[B])
+//
+// where ω is a conjunction of te[Al] = c and te[Al] = tm[B'] predicates.
+//
+// The axioms ϕ7 (null has lowest accuracy), ϕ8 (a defined target value
+// has highest accuracy) and ϕ9 (equal values are mutually ⪯) are part of
+// every rule set; the chase engine implements them natively, so they are
+// not represented as explicit rules here.
+package rule
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Op is a comparison operator appearing in rule predicates.
+type Op uint8
+
+const (
+	Eq Op = iota // =
+	Ne           // ≠
+	Lt           // <
+	Le           // ≤
+	Gt           // >
+	Ge           // ≥
+)
+
+// String returns the ASCII spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Flip mirrors the operator: a op b  ⟺  b op.Flip() a.
+func (o Op) Flip() Op {
+	switch o {
+	case Lt:
+		return Gt
+	case Gt:
+		return Lt
+	case Le:
+		return Ge
+	case Ge:
+		return Le
+	default:
+		return o
+	}
+}
+
+// Eval applies the operator to two values. Equality and inequality
+// follow Value.Equal (null equals only null). Inequalities are false
+// whenever the values are incomparable (including any null operand).
+func (o Op) Eval(a, b model.Value) bool {
+	switch o {
+	case Eq:
+		return a.Equal(b)
+	case Ne:
+		return !a.Equal(b)
+	}
+	c, ok := a.Compare(b)
+	if !ok {
+		return false
+	}
+	switch o {
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	}
+	return false
+}
+
+// OperandKind distinguishes the three operand shapes in form-(1)
+// comparison predicates.
+type OperandKind uint8
+
+const (
+	// TupleAttr is ti[Al] for i ∈ {1,2}.
+	TupleAttr OperandKind = iota
+	// Const is a constant value.
+	Const
+	// TargetAttr is te[Al], a reference to the target template.
+	TargetAttr
+)
+
+// Operand is one side of a comparison predicate.
+type Operand struct {
+	Kind OperandKind
+	Tup  int         // 1 or 2, for TupleAttr
+	Attr string      // attribute name, for TupleAttr and TargetAttr
+	Val  model.Value // the constant, for Const
+}
+
+// T1 returns the operand t1[attr].
+func T1(attr string) Operand { return Operand{Kind: TupleAttr, Tup: 1, Attr: attr} }
+
+// T2 returns the operand t2[attr].
+func T2(attr string) Operand { return Operand{Kind: TupleAttr, Tup: 2, Attr: attr} }
+
+// C returns a constant operand.
+func C(v model.Value) Operand { return Operand{Kind: Const, Val: v} }
+
+// Te returns the operand te[attr].
+func Te(attr string) Operand { return Operand{Kind: TargetAttr, Attr: attr} }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case TupleAttr:
+		return fmt.Sprintf("t%d[%s]", o.Tup, o.Attr)
+	case Const:
+		return o.Val.Quote()
+	case TargetAttr:
+		return fmt.Sprintf("te[%s]", o.Attr)
+	default:
+		return "?"
+	}
+}
+
+// PredKind distinguishes comparison predicates from order predicates.
+type PredKind uint8
+
+const (
+	// CmpPred is Left Op Right over operands.
+	CmpPred PredKind = iota
+	// OrderPred is t1 ≺_Attr t2 (Strict) or t1 ⪯_Attr t2.
+	OrderPred
+)
+
+// Pred is one conjunct of a form-(1) rule body.
+type Pred struct {
+	Kind   PredKind
+	Left   Operand
+	Op     Op
+	Right  Operand
+	Attr   string // attribute of an order predicate
+	Strict bool   // ≺ vs ⪯
+}
+
+// Cmp builds a comparison predicate.
+func Cmp(l Operand, op Op, r Operand) Pred {
+	return Pred{Kind: CmpPred, Left: l, Op: op, Right: r}
+}
+
+// Prec builds the strict order predicate t1 ≺_attr t2.
+func Prec(attr string) Pred { return Pred{Kind: OrderPred, Attr: attr, Strict: true} }
+
+// PrecEq builds the weak order predicate t1 ⪯_attr t2.
+func PrecEq(attr string) Pred { return Pred{Kind: OrderPred, Attr: attr} }
+
+func (p Pred) String() string {
+	if p.Kind == OrderPred {
+		sym := "<="
+		if p.Strict {
+			sym = "<"
+		}
+		return fmt.Sprintf("t1 %s t2 @ %s", sym, p.Attr)
+	}
+	return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Right)
+}
+
+// Form1 is a form-(1) accuracy rule: LHS → t1 ⪯_RHS t2.
+type Form1 struct {
+	RuleName string
+	LHS      []Pred
+	RHS      string // the attribute Ai of the derived order pair
+}
+
+// Form2 is a form-(2) accuracy rule:
+// ∀tm (Rm(tm) ∧ conds → te[TargetAttr] = tm[MasterAttr]).
+type Form2 struct {
+	RuleName   string
+	Conds      []MasterCond
+	TargetAttr string // Ai of the entity schema
+	MasterAttr string // B of the master schema
+}
+
+// MasterCond is one conjunct of a form-(2) rule body: te[TargetAttr] =
+// Const, te[TargetAttr] = tm[MasterAttr], or — as in the paper's ϕ6,
+// where tm[season] = "1994-95" constrains the master tuple alone —
+// tm[MasterAttr] = Const (OnMaster true), which folds away when the rule
+// is grounded on a concrete master tuple.
+type MasterCond struct {
+	TargetAttr string
+	IsConst    bool
+	Const      model.Value
+	MasterAttr string
+	OnMaster   bool
+}
+
+// CondConst builds te[attr] = c.
+func CondConst(attr string, c model.Value) MasterCond {
+	return MasterCond{TargetAttr: attr, IsConst: true, Const: c}
+}
+
+// CondMaster builds te[attr] = tm[masterAttr].
+func CondMaster(attr, masterAttr string) MasterCond {
+	return MasterCond{TargetAttr: attr, MasterAttr: masterAttr}
+}
+
+// CondMasterConst builds tm[masterAttr] = c, a selection on the master
+// tuple itself.
+func CondMasterConst(masterAttr string, c model.Value) MasterCond {
+	return MasterCond{MasterAttr: masterAttr, IsConst: true, Const: c, OnMaster: true}
+}
+
+// Rule is either a *Form1 or a *Form2.
+type Rule interface {
+	// Name returns the rule's label (e.g. "phi1"), for traces and errors.
+	Name() string
+	// Validate checks the rule is well formed against the entity schema r
+	// and master schema rm (rm may be nil when the rule set has no
+	// form-(2) rules).
+	Validate(r, rm *model.Schema) error
+	// String renders the rule in the textual rule language.
+	String() string
+}
+
+// Name implements Rule.
+func (f *Form1) Name() string { return f.RuleName }
+
+// Name implements Rule.
+func (f *Form2) Name() string { return f.RuleName }
+
+// Validate implements Rule. It checks attribute references, operand
+// shapes, and rejects the unsupported predicate te[A] = null (whose truth
+// would not be monotone during the chase).
+func (f *Form1) Validate(r, _ *model.Schema) error {
+	if f.RHS == "" || !r.Has(f.RHS) {
+		return fmt.Errorf("rule %s: RHS attribute %q not in schema %s", f.RuleName, f.RHS, r.Name())
+	}
+	for i, p := range f.LHS {
+		switch p.Kind {
+		case OrderPred:
+			if !r.Has(p.Attr) {
+				return fmt.Errorf("rule %s: order predicate %d references unknown attribute %q", f.RuleName, i, p.Attr)
+			}
+		case CmpPred:
+			for _, op := range []Operand{p.Left, p.Right} {
+				switch op.Kind {
+				case TupleAttr:
+					if op.Tup != 1 && op.Tup != 2 {
+						return fmt.Errorf("rule %s: predicate %d references tuple t%d", f.RuleName, i, op.Tup)
+					}
+					if !r.Has(op.Attr) {
+						return fmt.Errorf("rule %s: predicate %d references unknown attribute %q", f.RuleName, i, op.Attr)
+					}
+				case TargetAttr:
+					if !r.Has(op.Attr) {
+						return fmt.Errorf("rule %s: predicate %d references unknown target attribute %q", f.RuleName, i, op.Attr)
+					}
+				}
+			}
+			if p.Left.Kind == TargetAttr && p.Right.Kind == TargetAttr {
+				return fmt.Errorf("rule %s: predicate %d compares two target attributes", f.RuleName, i)
+			}
+			if p.Left.Kind == Const && p.Right.Kind == Const {
+				return fmt.Errorf("rule %s: predicate %d compares two constants", f.RuleName, i)
+			}
+			// te[A] = null (and te[A] op null in general) is not monotone:
+			// it can hold now and fail later as the chase instantiates te.
+			if (p.Left.Kind == TargetAttr && p.Right.Kind == Const && p.Right.Val.IsNull() && p.Op != Ne) ||
+				(p.Right.Kind == TargetAttr && p.Left.Kind == Const && p.Left.Val.IsNull() && p.Op != Ne) {
+				return fmt.Errorf("rule %s: predicate %d tests te[A] = null, which is not supported", f.RuleName, i)
+			}
+		default:
+			return fmt.Errorf("rule %s: predicate %d has unknown kind", f.RuleName, i)
+		}
+	}
+	return nil
+}
+
+// Validate implements Rule.
+func (f *Form2) Validate(r, rm *model.Schema) error {
+	if rm == nil {
+		return fmt.Errorf("rule %s: form-(2) rule requires a master schema", f.RuleName)
+	}
+	if !r.Has(f.TargetAttr) {
+		return fmt.Errorf("rule %s: target attribute %q not in schema %s", f.RuleName, f.TargetAttr, r.Name())
+	}
+	if !rm.Has(f.MasterAttr) {
+		return fmt.Errorf("rule %s: master attribute %q not in schema %s", f.RuleName, f.MasterAttr, rm.Name())
+	}
+	for i, c := range f.Conds {
+		if c.OnMaster {
+			if !rm.Has(c.MasterAttr) {
+				return fmt.Errorf("rule %s: condition %d references unknown master attribute %q", f.RuleName, i, c.MasterAttr)
+			}
+			continue
+		}
+		if !r.Has(c.TargetAttr) {
+			return fmt.Errorf("rule %s: condition %d references unknown target attribute %q", f.RuleName, i, c.TargetAttr)
+		}
+		if !c.IsConst && !rm.Has(c.MasterAttr) {
+			return fmt.Errorf("rule %s: condition %d references unknown master attribute %q", f.RuleName, i, c.MasterAttr)
+		}
+		if c.IsConst && c.Const.IsNull() {
+			return fmt.Errorf("rule %s: condition %d tests te[A] = null, which is not supported", f.RuleName, i)
+		}
+	}
+	return nil
+}
+
+// String implements Rule using the textual rule language of package
+// ruledsl: "name: pred, pred, ... -> t1 <= t2 @ attr".
+func (f *Form1) String() string {
+	parts := make([]string, len(f.LHS))
+	for i, p := range f.LHS {
+		parts[i] = p.String()
+	}
+	lhs := strings.Join(parts, " , ")
+	if lhs == "" {
+		lhs = "true"
+	}
+	return fmt.Sprintf("%s: %s -> t1 <= t2 @ %s", f.RuleName, lhs, f.RHS)
+}
+
+// String implements Rule: "name: master(te[A]=c, te[B]=tm[B']) -> te[Ai] = tm[B]".
+func (f *Form2) String() string {
+	parts := make([]string, len(f.Conds))
+	for i, c := range f.Conds {
+		switch {
+		case c.OnMaster:
+			parts[i] = fmt.Sprintf("tm[%s] = %s", c.MasterAttr, c.Const.Quote())
+		case c.IsConst:
+			parts[i] = fmt.Sprintf("te[%s] = %s", c.TargetAttr, c.Const.Quote())
+		default:
+			parts[i] = fmt.Sprintf("te[%s] = tm[%s]", c.TargetAttr, c.MasterAttr)
+		}
+	}
+	lhs := strings.Join(parts, " , ")
+	if lhs == "" {
+		lhs = "true"
+	}
+	return fmt.Sprintf("%s: master %s -> te[%s] = tm[%s]", f.RuleName, lhs, f.TargetAttr, f.MasterAttr)
+}
+
+// Set is an ordered collection of validated rules sharing one entity
+// schema and at most one master schema.
+type Set struct {
+	rules []Rule
+}
+
+// NewSet validates every rule against the schemas and collects them.
+func NewSet(r, rm *model.Schema, rules ...Rule) (*Set, error) {
+	s := &Set{}
+	for _, ru := range rules {
+		if err := ru.Validate(r, rm); err != nil {
+			return nil, err
+		}
+		s.rules = append(s.rules, ru)
+	}
+	return s, nil
+}
+
+// MustSet is NewSet but panics on error.
+func MustSet(r, rm *model.Schema, rules ...Rule) *Set {
+	s, err := NewSet(r, rm, rules...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Rules returns the rules in declaration order; callers must not mutate
+// the slice.
+func (s *Set) Rules() []Rule {
+	if s == nil {
+		return nil
+	}
+	return s.rules
+}
+
+// Len returns ‖Σ‖, the number of rules.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.rules)
+}
+
+// Filter returns a new Set with only the rules for which keep returns
+// true; used by the "form (1) only / form (2) only" experiments.
+func (s *Set) Filter(keep func(Rule) bool) *Set {
+	out := &Set{}
+	for _, r := range s.rules {
+		if keep(r) {
+			out.rules = append(out.rules, r)
+		}
+	}
+	return out
+}
+
+// Form1Only keeps only form-(1) rules.
+func (s *Set) Form1Only() *Set {
+	return s.Filter(func(r Rule) bool { _, ok := r.(*Form1); return ok })
+}
+
+// Form2Only keeps only form-(2) rules.
+func (s *Set) Form2Only() *Set {
+	return s.Filter(func(r Rule) bool { _, ok := r.(*Form2); return ok })
+}
+
+// Truncate returns a Set holding only the first n rules (used by the
+// ‖Σ‖-scaling experiments).
+func (s *Set) Truncate(n int) *Set {
+	if n > len(s.rules) {
+		n = len(s.rules)
+	}
+	return &Set{rules: s.rules[:n]}
+}
+
+// Append returns a new Set with extra rules validated and added.
+func (s *Set) Append(r, rm *model.Schema, rules ...Rule) (*Set, error) {
+	out := &Set{rules: append([]Rule(nil), s.rules...)}
+	for _, ru := range rules {
+		if err := ru.Validate(r, rm); err != nil {
+			return nil, err
+		}
+		out.rules = append(out.rules, ru)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package rule_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/rule"
+)
+
+func TestOpEval(t *testing.T) {
+	cases := []struct {
+		a    model.Value
+		op   rule.Op
+		b    model.Value
+		want bool
+	}{
+		{model.I(1), rule.Eq, model.I(1), true},
+		{model.I(1), rule.Ne, model.I(2), true},
+		{model.I(1), rule.Lt, model.I(2), true},
+		{model.I(2), rule.Le, model.I(2), true},
+		{model.I(3), rule.Gt, model.I(2), true},
+		{model.I(2), rule.Ge, model.I(3), false},
+		{model.NullValue(), rule.Eq, model.NullValue(), true},
+		{model.NullValue(), rule.Ne, model.I(1), true},
+		{model.NullValue(), rule.Lt, model.I(1), false}, // null incomparable
+		{model.S("a"), rule.Lt, model.I(1), false},      // cross-kind incomparable
+		{model.S("a"), rule.Lt, model.S("b"), true},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpFlip(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := model.I(a), model.I(b)
+		for _, op := range []rule.Op{rule.Eq, rule.Ne, rule.Lt, rule.Le, rule.Gt, rule.Ge} {
+			if op.Eval(va, vb) != op.Flip().Eval(vb, va) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[rule.Op]string{
+		rule.Eq: "=", rule.Ne: "!=", rule.Lt: "<", rule.Le: "<=", rule.Gt: ">", rule.Ge: ">=",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v.String() = %q", op, op.String())
+		}
+	}
+}
+
+func schemas(t *testing.T) (*model.Schema, *model.Schema) {
+	t.Helper()
+	return model.MustSchema("r", "a", "b"), model.MustSchema("m", "a", "x")
+}
+
+func TestForm1Validate(t *testing.T) {
+	r, rm := schemas(t)
+	good := &rule.Form1{RuleName: "g",
+		LHS: []rule.Pred{rule.Cmp(rule.T1("a"), rule.Lt, rule.T2("a"))}, RHS: "b"}
+	if err := good.Validate(r, rm); err != nil {
+		t.Errorf("good rule rejected: %v", err)
+	}
+	bad := []*rule.Form1{
+		{RuleName: "rhs", LHS: nil, RHS: "zz"},
+		{RuleName: "op-attr", LHS: []rule.Pred{rule.Prec("zz")}, RHS: "a"},
+		{RuleName: "t3", LHS: []rule.Pred{{Kind: rule.CmpPred,
+			Left: rule.Operand{Kind: rule.TupleAttr, Tup: 3, Attr: "a"}, Op: rule.Eq,
+			Right: rule.C(model.I(1))}}, RHS: "a"},
+		{RuleName: "tgt-attr", LHS: []rule.Pred{rule.Cmp(rule.Te("zz"), rule.Eq, rule.C(model.I(1)))}, RHS: "a"},
+		{RuleName: "two-tgt", LHS: []rule.Pred{rule.Cmp(rule.Te("a"), rule.Eq, rule.Te("b"))}, RHS: "a"},
+		{RuleName: "two-const", LHS: []rule.Pred{rule.Cmp(rule.C(model.I(1)), rule.Eq, rule.C(model.I(1)))}, RHS: "a"},
+		{RuleName: "te-null", LHS: []rule.Pred{rule.Cmp(rule.Te("a"), rule.Eq, rule.C(model.NullValue()))}, RHS: "a"},
+	}
+	for _, b := range bad {
+		if err := b.Validate(r, rm); err == nil {
+			t.Errorf("rule %s should fail validation", b.RuleName)
+		}
+	}
+	// te != null is the legitimate definedness test.
+	ok := &rule.Form1{RuleName: "defined",
+		LHS: []rule.Pred{rule.Cmp(rule.Te("a"), rule.Ne, rule.C(model.NullValue()))}, RHS: "a"}
+	if err := ok.Validate(r, rm); err != nil {
+		t.Errorf("te != null should validate: %v", err)
+	}
+}
+
+func TestForm2Validate(t *testing.T) {
+	r, rm := schemas(t)
+	good := &rule.Form2{RuleName: "g",
+		Conds:      []rule.MasterCond{rule.CondMaster("a", "a"), rule.CondMasterConst("x", model.I(1))},
+		TargetAttr: "b", MasterAttr: "x"}
+	if err := good.Validate(r, rm); err != nil {
+		t.Errorf("good rule rejected: %v", err)
+	}
+	bad := []*rule.Form2{
+		{RuleName: "tgt", TargetAttr: "zz", MasterAttr: "x"},
+		{RuleName: "mattr", TargetAttr: "a", MasterAttr: "zz"},
+		{RuleName: "cond-tgt", Conds: []rule.MasterCond{rule.CondMaster("zz", "x")}, TargetAttr: "a", MasterAttr: "x"},
+		{RuleName: "cond-m", Conds: []rule.MasterCond{rule.CondMaster("a", "zz")}, TargetAttr: "a", MasterAttr: "x"},
+		{RuleName: "cond-null", Conds: []rule.MasterCond{rule.CondConst("a", model.NullValue())}, TargetAttr: "a", MasterAttr: "x"},
+		{RuleName: "onm", Conds: []rule.MasterCond{rule.CondMasterConst("zz", model.I(1))}, TargetAttr: "a", MasterAttr: "x"},
+	}
+	for _, b := range bad {
+		if err := b.Validate(r, rm); err == nil {
+			t.Errorf("rule %s should fail validation", b.RuleName)
+		}
+	}
+	if err := good.Validate(r, nil); err == nil {
+		t.Errorf("form-2 without master schema should fail")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	r, rm := schemas(t)
+	f1 := &rule.Form1{RuleName: "f1",
+		LHS: []rule.Pred{rule.Prec("a")}, RHS: "b"}
+	f2 := &rule.Form2{RuleName: "f2",
+		Conds: []rule.MasterCond{rule.CondMaster("a", "a")}, TargetAttr: "b", MasterAttr: "x"}
+	set, err := rule.NewSet(r, rm, f1, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Errorf("Len = %d", set.Len())
+	}
+	if set.Form1Only().Len() != 1 || set.Form2Only().Len() != 1 {
+		t.Errorf("form split wrong")
+	}
+	if set.Truncate(1).Len() != 1 || set.Truncate(5).Len() != 2 {
+		t.Errorf("Truncate wrong")
+	}
+	more, err := set.Append(r, rm, &rule.Form1{RuleName: "f3", LHS: nil, RHS: "a"})
+	if err != nil || more.Len() != 3 || set.Len() != 2 {
+		t.Errorf("Append wrong: %v %d %d", err, more.Len(), set.Len())
+	}
+	if _, err := rule.NewSet(r, rm, &rule.Form1{RuleName: "bad", RHS: "zz"}); err == nil {
+		t.Errorf("NewSet must validate")
+	}
+	var nilSet *rule.Set
+	if nilSet.Len() != 0 || nilSet.Rules() != nil {
+		t.Errorf("nil set should behave as empty")
+	}
+}
+
+func TestRuleStrings(t *testing.T) {
+	f1 := &rule.Form1{RuleName: "phi2", LHS: []rule.Pred{rule.Prec("rnds")}, RHS: "J#"}
+	if s := f1.String(); !strings.Contains(s, "phi2:") || !strings.Contains(s, "@ J#") {
+		t.Errorf("Form1 string = %q", s)
+	}
+	f2 := &rule.Form2{RuleName: "phi6",
+		Conds: []rule.MasterCond{
+			rule.CondMaster("FN", "FN"),
+			rule.CondConst("LN", model.S("Jordan")),
+			rule.CondMasterConst("season", model.S("1994-95")),
+		},
+		TargetAttr: "league", MasterAttr: "league"}
+	s := f2.String()
+	for _, frag := range []string{"master", `te[FN] = tm[FN]`, `te[LN] = "Jordan"`, `tm[season] = "1994-95"`, "-> te[league] = tm[league]"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Form2 string %q missing %q", s, frag)
+		}
+	}
+	empty := &rule.Form1{RuleName: "e", RHS: "a"}
+	if !strings.Contains(empty.String(), "true ->") {
+		t.Errorf("empty LHS should render as true: %q", empty.String())
+	}
+}

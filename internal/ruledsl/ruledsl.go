@@ -1,0 +1,524 @@
+// Package ruledsl implements a small text language for accuracy rules,
+// so rule sets can live in files next to the data they govern. The
+// syntax matches what rule.Rule's String methods render:
+//
+//	# currency: more rounds played means more current
+//	phi1: t1[league] = t2[league] , t1[rnds] < t2[rnds] -> t1 <= t2 @ rnds
+//	# correlation: a more current rnds carries the jersey number
+//	phi2: t1 < t2 @ rnds -> t1 <= t2 @ J#
+//	# master data: look up league by name and season
+//	phi6: master te[FN] = tm[FN] , tm[season] = "1994-95" -> te[league] = tm[league]
+//
+// One rule per line; '#' starts a comment; blank lines are ignored.
+// String constants are double-quoted; numbers, true, false and null are
+// written literally. Attribute names are anything up to the closing
+// bracket, so names like J# work.
+package ruledsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/rule"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ruledsl: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a rule file and returns the rules in order of appearance.
+func Parse(text string) ([]rule.Rule, error) {
+	var rules []rule.Rule
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		// A '#' starts a comment only at the beginning of the line or
+		// after whitespace, so attribute names like J# survive.
+		for idx := 0; idx < len(line); idx++ {
+			if line[idx] == '#' && (idx == 0 || line[idx-1] == ' ' || line[idx-1] == '\t') {
+				line = line[:idx]
+				break
+			}
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		r, err := parseRule(line)
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// Format renders rules in the language accepted by Parse.
+func Format(rules []rule.Rule) string {
+	var b strings.Builder
+	for _, r := range rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// --- lexer ---
+
+type tokKind uint8
+
+const (
+	tokEOF   tokKind = iota
+	tokIdent         // t1, t2, te, tm, master, true-literals, bare words
+	tokAttr          // [attr] — includes the brackets
+	tokStr           // "..."
+	tokNum           // 123, -4.5
+	tokOp            // = != < <= > >=
+	tokComma
+	tokArrow // ->
+	tokAt    // @
+	tokColon
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type lexer struct {
+	in  string
+	pos int
+	tok token
+	err error
+}
+
+func newLexer(in string) *lexer {
+	l := &lexer{in: in}
+	l.next()
+	return l
+}
+
+func (l *lexer) next() {
+	if l.err != nil {
+		return
+	}
+	for l.pos < len(l.in) && (l.in[l.pos] == ' ' || l.in[l.pos] == '\t') {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		l.tok = token{kind: tokEOF}
+		return
+	}
+	c := l.in[l.pos]
+	switch {
+	case c == '[':
+		end := strings.IndexByte(l.in[l.pos:], ']')
+		if end < 0 {
+			l.err = fmt.Errorf("unterminated attribute bracket")
+			return
+		}
+		l.tok = token{kind: tokAttr, text: l.in[l.pos+1 : l.pos+end]}
+		l.pos += end + 1
+	case c == '"':
+		rest := l.in[l.pos:]
+		// Find the closing quote, honouring escapes.
+		end := 1
+		for end < len(rest) && (rest[end] != '"' || rest[end-1] == '\\') {
+			end++
+		}
+		if end >= len(rest) {
+			l.err = fmt.Errorf("unterminated string")
+			return
+		}
+		raw := rest[:end+1]
+		unq, err := strconv.Unquote(raw)
+		if err != nil {
+			l.err = fmt.Errorf("bad string %s", raw)
+			return
+		}
+		l.tok = token{kind: tokStr, text: unq}
+		l.pos += end + 1
+	case c == ',':
+		l.tok = token{kind: tokComma}
+		l.pos++
+	case c == '@':
+		l.tok = token{kind: tokAt}
+		l.pos++
+	case c == ':':
+		l.tok = token{kind: tokColon}
+		l.pos++
+	case c == '-' && l.pos+1 < len(l.in) && l.in[l.pos+1] == '>':
+		l.tok = token{kind: tokArrow}
+		l.pos += 2
+	case c == '=' || c == '<' || c == '>' || c == '!':
+		op := string(c)
+		if l.pos+1 < len(l.in) && (l.in[l.pos+1] == '=') {
+			op += "="
+		}
+		if op == "!" {
+			l.err = fmt.Errorf("unexpected '!'")
+			return
+		}
+		l.tok = token{kind: tokOp, text: op}
+		l.pos += len(op)
+	case c == '-' || (c >= '0' && c <= '9'):
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.in) && (l.in[l.pos] >= '0' && l.in[l.pos] <= '9' || l.in[l.pos] == '.') {
+			l.pos++
+		}
+		l.tok = token{kind: tokNum, text: l.in[start:l.pos]}
+	default:
+		start := l.pos
+		for l.pos < len(l.in) && isIdentChar(l.in[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start {
+			l.err = fmt.Errorf("unexpected character %q", string(c))
+			return
+		}
+		l.tok = token{kind: tokIdent, text: l.in[start:l.pos]}
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '.' || c == '#' || c == '-'
+}
+
+// --- parser ---
+
+func parseRule(line string) (rule.Rule, error) {
+	l := newLexer(line)
+	if l.tok.kind != tokIdent {
+		return nil, fmt.Errorf("expected rule name")
+	}
+	name := l.tok.text
+	l.next()
+	if l.tok.kind != tokColon {
+		return nil, fmt.Errorf("expected ':' after rule name %q", name)
+	}
+	l.next()
+	if l.tok.kind == tokIdent && l.tok.text == "master" {
+		l.next()
+		return parseForm2(name, l)
+	}
+	return parseForm1(name, l)
+}
+
+func parseForm1(name string, l *lexer) (rule.Rule, error) {
+	var lhs []rule.Pred
+	if l.tok.kind == tokIdent && l.tok.text == "true" {
+		// Empty body.
+		l.next()
+	} else {
+		for {
+			p, err := parsePred(l)
+			if err != nil {
+				return nil, err
+			}
+			lhs = append(lhs, p)
+			if l.tok.kind != tokComma {
+				break
+			}
+			l.next()
+		}
+	}
+	if l.tok.kind != tokArrow {
+		return nil, fmt.Errorf("expected '->' in rule %q", name)
+	}
+	l.next()
+	// RHS: t1 <= t2 @ attr
+	if l.tok.kind != tokIdent || l.tok.text != "t1" {
+		return nil, fmt.Errorf("expected 't1' in consequence of %q", name)
+	}
+	l.next()
+	if l.tok.kind != tokOp || l.tok.text != "<=" {
+		return nil, fmt.Errorf("form-1 consequence must be 't1 <= t2 @ attr' in %q", name)
+	}
+	l.next()
+	if l.tok.kind != tokIdent || l.tok.text != "t2" {
+		return nil, fmt.Errorf("expected 't2' in consequence of %q", name)
+	}
+	l.next()
+	if l.tok.kind != tokAt {
+		return nil, fmt.Errorf("expected '@' in consequence of %q", name)
+	}
+	l.next()
+	attr, err := attrName(l)
+	if err != nil {
+		return nil, err
+	}
+	if err := expectEOF(l); err != nil {
+		return nil, err
+	}
+	return &rule.Form1{RuleName: name, LHS: lhs, RHS: attr}, nil
+}
+
+// parsePred parses either an order predicate "t1 < t2 @ a" /
+// "t1 <= t2 @ a" or a comparison between operands.
+func parsePred(l *lexer) (rule.Pred, error) {
+	left, leftIsT1, err := parseOperandOrT1(l)
+	if err != nil {
+		return rule.Pred{}, err
+	}
+	if l.tok.kind != tokOp {
+		return rule.Pred{}, fmt.Errorf("expected comparison operator")
+	}
+	op := l.tok.text
+	l.next()
+	if leftIsT1 && l.tok.kind == tokIdent && l.tok.text == "t2" {
+		// Order predicate.
+		l.next()
+		if l.tok.kind != tokAt {
+			return rule.Pred{}, fmt.Errorf("expected '@' in order predicate")
+		}
+		l.next()
+		attr, err := attrName(l)
+		if err != nil {
+			return rule.Pred{}, err
+		}
+		switch op {
+		case "<":
+			return rule.Prec(attr), nil
+		case "<=":
+			return rule.PrecEq(attr), nil
+		default:
+			return rule.Pred{}, fmt.Errorf("order predicate operator must be < or <=, got %s", op)
+		}
+	}
+	right, _, err := parseOperandOrT1(l)
+	if err != nil {
+		return rule.Pred{}, err
+	}
+	o, err := cmpOp(op)
+	if err != nil {
+		return rule.Pred{}, err
+	}
+	return rule.Cmp(left, o, right), nil
+}
+
+// parseOperandOrT1 parses t1[a], t2[a], te[a], or a literal. When the
+// token is a bare "t1" (no bracket), it returns leftIsT1 so the caller
+// can recognise an order predicate.
+func parseOperandOrT1(l *lexer) (rule.Operand, bool, error) {
+	switch l.tok.kind {
+	case tokIdent:
+		id := l.tok.text
+		switch id {
+		case "t1", "t2", "te":
+			l.next()
+			if l.tok.kind != tokAttr {
+				if id == "t1" {
+					return rule.Operand{}, true, nil
+				}
+				return rule.Operand{}, false, fmt.Errorf("expected [attr] after %s", id)
+			}
+			attr := l.tok.text
+			l.next()
+			switch id {
+			case "t1":
+				return rule.T1(attr), false, nil
+			case "t2":
+				return rule.T2(attr), false, nil
+			default:
+				return rule.Te(attr), false, nil
+			}
+		case "null":
+			l.next()
+			return rule.C(model.NullValue()), false, nil
+		case "true":
+			l.next()
+			return rule.C(model.B(true)), false, nil
+		case "false":
+			l.next()
+			return rule.C(model.B(false)), false, nil
+		default:
+			return rule.Operand{}, false, fmt.Errorf("unexpected identifier %q", id)
+		}
+	case tokStr:
+		v := model.S(l.tok.text)
+		l.next()
+		return rule.C(v), false, nil
+	case tokNum:
+		v := model.Parse(l.tok.text)
+		l.next()
+		return rule.C(v), false, nil
+	default:
+		return rule.Operand{}, false, fmt.Errorf("expected operand")
+	}
+}
+
+func parseForm2(name string, l *lexer) (rule.Rule, error) {
+	var conds []rule.MasterCond
+	for {
+		// Either te[A] = X or tm[B] = const, or the arrow directly
+		// (after "master true").
+		if l.tok.kind == tokIdent && l.tok.text == "true" && len(conds) == 0 {
+			l.next()
+			break
+		}
+		c, isRHS, tgt, msrc, err := parseMasterCondOrRHS(l)
+		if err != nil {
+			return nil, err
+		}
+		if isRHS {
+			return nil, fmt.Errorf("missing '->' before consequence in %q", name)
+		}
+		_ = tgt
+		_ = msrc
+		conds = append(conds, c)
+		if l.tok.kind != tokComma {
+			break
+		}
+		l.next()
+	}
+	if l.tok.kind != tokArrow {
+		return nil, fmt.Errorf("expected '->' in rule %q", name)
+	}
+	l.next()
+	// Consequence: te[A] = tm[B]
+	if l.tok.kind != tokIdent || l.tok.text != "te" {
+		return nil, fmt.Errorf("form-2 consequence must start with te[...] in %q", name)
+	}
+	l.next()
+	if l.tok.kind != tokAttr {
+		return nil, fmt.Errorf("expected [attr] after te in %q", name)
+	}
+	target := l.tok.text
+	l.next()
+	if l.tok.kind != tokOp || l.tok.text != "=" {
+		return nil, fmt.Errorf("expected '=' in consequence of %q", name)
+	}
+	l.next()
+	if l.tok.kind != tokIdent || l.tok.text != "tm" {
+		return nil, fmt.Errorf("form-2 consequence must assign from tm[...] in %q", name)
+	}
+	l.next()
+	if l.tok.kind != tokAttr {
+		return nil, fmt.Errorf("expected [attr] after tm in %q", name)
+	}
+	masterAttr := l.tok.text
+	l.next()
+	if err := expectEOF(l); err != nil {
+		return nil, err
+	}
+	return &rule.Form2{RuleName: name, Conds: conds, TargetAttr: target, MasterAttr: masterAttr}, nil
+}
+
+// parseMasterCondOrRHS parses one form-2 condition.
+func parseMasterCondOrRHS(l *lexer) (rule.MasterCond, bool, string, string, error) {
+	if l.tok.kind != tokIdent {
+		return rule.MasterCond{}, false, "", "", fmt.Errorf("expected te[...] or tm[...] condition")
+	}
+	who := l.tok.text
+	if who != "te" && who != "tm" {
+		return rule.MasterCond{}, false, "", "", fmt.Errorf("conditions must reference te or tm, got %q", who)
+	}
+	l.next()
+	if l.tok.kind != tokAttr {
+		return rule.MasterCond{}, false, "", "", fmt.Errorf("expected [attr] after %s", who)
+	}
+	attr := l.tok.text
+	l.next()
+	if l.tok.kind != tokOp || l.tok.text != "=" {
+		return rule.MasterCond{}, false, "", "", fmt.Errorf("form-2 conditions use '='")
+	}
+	l.next()
+	switch {
+	case who == "tm":
+		// tm[B] = const
+		v, err := literal(l)
+		if err != nil {
+			return rule.MasterCond{}, false, "", "", err
+		}
+		return rule.CondMasterConst(attr, v), false, "", "", nil
+	case l.tok.kind == tokIdent && l.tok.text == "tm":
+		l.next()
+		if l.tok.kind != tokAttr {
+			return rule.MasterCond{}, false, "", "", fmt.Errorf("expected [attr] after tm")
+		}
+		m := l.tok.text
+		l.next()
+		return rule.CondMaster(attr, m), false, "", "", nil
+	default:
+		v, err := literal(l)
+		if err != nil {
+			return rule.MasterCond{}, false, "", "", err
+		}
+		return rule.CondConst(attr, v), false, "", "", nil
+	}
+}
+
+func literal(l *lexer) (model.Value, error) {
+	switch l.tok.kind {
+	case tokStr:
+		v := model.S(l.tok.text)
+		l.next()
+		return v, nil
+	case tokNum:
+		v := model.Parse(l.tok.text)
+		l.next()
+		return v, nil
+	case tokIdent:
+		switch l.tok.text {
+		case "null":
+			l.next()
+			return model.NullValue(), nil
+		case "true":
+			l.next()
+			return model.B(true), nil
+		case "false":
+			l.next()
+			return model.B(false), nil
+		}
+	}
+	return model.Value{}, fmt.Errorf("expected a literal value")
+}
+
+func attrName(l *lexer) (string, error) {
+	switch l.tok.kind {
+	case tokAttr, tokIdent:
+		a := l.tok.text
+		l.next()
+		return a, nil
+	default:
+		return "", fmt.Errorf("expected attribute name")
+	}
+}
+
+func cmpOp(s string) (rule.Op, error) {
+	switch s {
+	case "=":
+		return rule.Eq, nil
+	case "!=":
+		return rule.Ne, nil
+	case "<":
+		return rule.Lt, nil
+	case "<=":
+		return rule.Le, nil
+	case ">":
+		return rule.Gt, nil
+	case ">=":
+		return rule.Ge, nil
+	default:
+		return 0, fmt.Errorf("unknown operator %q", s)
+	}
+}
+
+func expectEOF(l *lexer) error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.tok.kind != tokEOF {
+		return fmt.Errorf("trailing input")
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package stats provides the evaluation metrics of Section 7: precision,
+// recall and F-measure for truth discovery (Table 4), and simple
+// aggregation helpers for the effectiveness percentages of Exp-1/Exp-2.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// PRF is a precision/recall/F-measure triple.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// PRFOf computes the metrics from true/false positives and false
+// negatives, following the definitions of Exp-5: R is the concluded set
+// (tp+fp), G the true set (tp+fn).
+func PRFOf(tp, fp, fn int) PRF {
+	var p, r float64
+	if tp+fp > 0 {
+		p = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		r = float64(tp) / float64(tp+fn)
+	}
+	var f1 float64
+	if p+r > 0 {
+		f1 = 2 * p * r / (p + r)
+	}
+	return PRF{Precision: p, Recall: r, F1: f1}
+}
+
+// String renders like "p=0.81 r=0.88 F1=0.85".
+func (m PRF) String() string {
+	return fmt.Sprintf("p=%.2f r=%.2f F1=%.2f", m.Precision, m.Recall, m.F1)
+}
+
+// Counter accumulates a ratio (hits over trials).
+type Counter struct {
+	Hits   int
+	Trials int
+}
+
+// Add records one trial.
+func (c *Counter) Add(hit bool) {
+	c.Trials++
+	if hit {
+		c.Hits++
+	}
+}
+
+// Rate returns Hits/Trials (0 when empty).
+func (c *Counter) Rate() float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Trials)
+}
+
+// Percent renders the rate as a percentage string.
+func (c *Counter) Percent() string {
+	return fmt.Sprintf("%.0f%%", 100*c.Rate())
+}
+
+// Timing accumulates durations and reports aggregates.
+type Timing struct {
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (t *Timing) Add(d time.Duration) { t.samples = append(t.samples, d) }
+
+// N returns the sample count.
+func (t *Timing) N() int { return len(t.samples) }
+
+// Total returns the summed duration.
+func (t *Timing) Total() time.Duration {
+	var s time.Duration
+	for _, d := range t.samples {
+		s += d
+	}
+	return s
+}
+
+// Mean returns the average duration (0 when empty).
+func (t *Timing) Mean() time.Duration {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	return t.Total() / time.Duration(len(t.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]).
+func (t *Timing) Percentile(p float64) time.Duration {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), t.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Mean returns the arithmetic mean of a float slice (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

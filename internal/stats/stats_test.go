@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPRF(t *testing.T) {
+	m := PRFOf(8, 2, 2)
+	if m.Precision != 0.8 || m.Recall != 0.8 {
+		t.Errorf("PRF = %+v", m)
+	}
+	if m.F1 < 0.79 || m.F1 > 0.81 {
+		t.Errorf("F1 = %v", m.F1)
+	}
+	zero := PRFOf(0, 0, 0)
+	if zero.Precision != 0 || zero.Recall != 0 || zero.F1 != 0 {
+		t.Errorf("empty PRF = %+v", zero)
+	}
+	perfect := PRFOf(5, 0, 0)
+	if perfect.F1 != 1 {
+		t.Errorf("perfect F1 = %v", perfect.F1)
+	}
+	if s := m.String(); s != "p=0.80 r=0.80 F1=0.80" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Rate() != 0 {
+		t.Errorf("empty rate = %v", c.Rate())
+	}
+	c.Add(true)
+	c.Add(true)
+	c.Add(false)
+	if c.Rate() < 0.66 || c.Rate() > 0.67 {
+		t.Errorf("rate = %v", c.Rate())
+	}
+	if c.Percent() != "67%" {
+		t.Errorf("percent = %q", c.Percent())
+	}
+}
+
+func TestTiming(t *testing.T) {
+	var tm Timing
+	if tm.Mean() != 0 || tm.Percentile(50) != 0 {
+		t.Errorf("empty timing not zero")
+	}
+	for _, d := range []time.Duration{time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond} {
+		tm.Add(d)
+	}
+	if tm.N() != 3 || tm.Total() != 6*time.Millisecond || tm.Mean() != 2*time.Millisecond {
+		t.Errorf("timing aggregates wrong: %v %v %v", tm.N(), tm.Total(), tm.Mean())
+	}
+	if tm.Percentile(0) != time.Millisecond || tm.Percentile(100) != 3*time.Millisecond {
+		t.Errorf("percentiles wrong")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Errorf("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Errorf("Mean wrong")
+	}
+}

@@ -1,0 +1,230 @@
+// Package topk implements the top-k candidate-target algorithms of
+// Section 6 of the paper: RankJoinCT (an extension of top-k rank-join),
+// TopKCT (a priority-queue lattice enumeration that needs no ranked
+// input and is instance optimal in heap pops), and TopKCTh (a PTIME
+// greedy heuristic).
+//
+// Given a Church-Rosser specification whose deduced target te is
+// incomplete, a candidate target instantiates the null attributes of te
+// with values from the attributes' active domains (plus one default
+// value ⊥ standing for "some value outside the data") such that the
+// revised specification is still Church-Rosser — verified by the chase
+// (the `check` of Section 6.1). Candidates are ranked by a monotone
+// preference score p summing per-value weights w_Ai(v).
+package topk
+
+import (
+	"repro/internal/chase"
+	"repro/internal/model"
+)
+
+// Bottom is the default value ⊥ denoting a value outside the active
+// domain (Section 6.1); it always appears last in ranked lists unless
+// the preference assigns it weight.
+var Bottom = model.S("⊥")
+
+// Preference is the preference model (k, p(·)) of Section 3.
+type Preference struct {
+	// K is the number of candidates requested.
+	K int
+	// Weight is w_Ai(v), the score of value v in attribute attr. Nil
+	// defaults to occurrence counting over the entity instance.
+	Weight func(attr string, v model.Value) float64
+	// Domains optionally fixes the candidate values of an attribute
+	// (e.g. {true, false} for a Boolean attribute). Attributes not
+	// listed use the active domain of Ie ∪ Im plus ⊥.
+	Domains map[string][]model.Value
+	// MaxChecks bounds the number of chase-based candidate checks one
+	// search may spend (0 = unlimited). The candidate-target problem is
+	// NP-complete (Theorem 4), and adversarial instances make the exact
+	// algorithms wade through large plateaus of equal-score failing
+	// assignments; when the budget is exhausted the candidates found so
+	// far are returned.
+	MaxChecks int
+	// MaxDomain caps each attribute's ranked candidate list (0 = 64).
+	// Values carried by the entity instance always survive the cap; the
+	// tail of zero-weight master-only values — interchangeable with ⊥
+	// unless a master rule references them — is truncated. This guards
+	// the search against master relations whose columns would otherwise
+	// contribute thousands of candidate values per attribute.
+	MaxDomain int
+}
+
+// OccurrenceWeight builds the default preference used throughout the
+// paper's experiments: w_Ai(v) is the number of occurrences of v in the
+// Ai column of Ie (values only present in master data count 0, and ⊥
+// counts 0).
+func OccurrenceWeight(ie *model.EntityInstance) func(string, model.Value) float64 {
+	counts := make(map[string]map[string]float64, ie.Schema().Arity())
+	for a := 0; a < ie.Schema().Arity(); a++ {
+		attr := ie.Schema().Attr(a)
+		m := make(map[string]float64)
+		for _, t := range ie.Tuples() {
+			v := t.At(a)
+			if !v.IsNull() {
+				m[v.Key()]++
+			}
+		}
+		counts[attr] = m
+	}
+	return func(attr string, v model.Value) float64 {
+		return counts[attr][v.Key()]
+	}
+}
+
+// MapWeight builds a preference from explicit per-attribute value
+// scores, e.g. probabilities produced by a truth-discovery algorithm
+// (Section 7, Exp-5). Missing entries score 0.
+func MapWeight(scores map[string]map[string]float64) func(string, model.Value) float64 {
+	return func(attr string, v model.Value) float64 {
+		return scores[attr][v.Key()]
+	}
+}
+
+// scoredValue is one ranked-list entry.
+type scoredValue struct {
+	v model.Value
+	w float64
+}
+
+// Candidate is one verified candidate target.
+type Candidate struct {
+	Tuple *model.Tuple
+	Score float64
+}
+
+// Stats reports the work an algorithm performed; the instance-optimality
+// tests and the efficiency experiments read these.
+type Stats struct {
+	// Checks counts invocations of the candidate check (chase runs).
+	Checks int
+	// Pops counts value-heap (ranked-list) accesses.
+	Pops int
+	// Generated counts join combinations materialised (RankJoinCT) or
+	// queue objects created (TopKCT).
+	Generated int
+}
+
+// problem is the shared search state for all three algorithms.
+type problem struct {
+	g     *chase.Grounding
+	te    *model.Tuple // deduced (incomplete) target
+	pref  Preference
+	zAttr []int           // schema positions of null attributes of te
+	lists [][]scoredValue // per zAttr, descending weight
+	stats Stats
+}
+
+// newProblem derives the search space: the null attributes Z of te and
+// their ranked value lists.
+func newProblem(g *chase.Grounding, te *model.Tuple, pref Preference) *problem {
+	p := &problem{g: g, te: te, pref: pref}
+	if pref.Weight == nil {
+		pref.Weight = OccurrenceWeight(g.Instance())
+		p.pref.Weight = pref.Weight
+	}
+	schema := g.Schema()
+	for a := 0; a < schema.Arity(); a++ {
+		if !te.At(a).IsNull() {
+			continue
+		}
+		attr := schema.Attr(a)
+		maxDomain := pref.MaxDomain
+		if maxDomain == 0 {
+			maxDomain = 64
+		}
+		var vals []model.Value
+		if dom, ok := pref.Domains[attr]; ok {
+			vals = append([]model.Value(nil), dom...)
+		} else {
+			var counts []int
+			vals, counts = model.ActiveDomain(g.Instance(), g.Master(), attr)
+			if len(vals) > maxDomain {
+				// Keep every instance-carried value plus the best-ranked
+				// of the rest, and truncate the interchangeable tail.
+				kept := vals[:0]
+				for i, v := range vals {
+					if counts[i] > 0 || len(kept) < maxDomain {
+						kept = append(kept, v)
+					}
+				}
+				vals = kept
+			}
+			vals = append(vals, Bottom)
+		}
+		list := make([]scoredValue, len(vals))
+		for i, v := range vals {
+			list[i] = scoredValue{v: v, w: pref.Weight(attr, v)}
+		}
+		sortScored(list)
+		p.zAttr = append(p.zAttr, a)
+		p.lists = append(p.lists, list)
+	}
+	return p
+}
+
+// sortScored orders by descending weight, ties broken by value key for
+// determinism.
+func sortScored(list []scoredValue) {
+	// Insertion sort: lists are small and mostly ordered (ActiveDomain
+	// already returns by descending occurrence).
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && scoredLess(list[j-1], list[j]); j-- {
+			list[j-1], list[j] = list[j], list[j-1]
+		}
+	}
+}
+
+// scoredLess reports a < b in ranking order (higher weight first).
+func scoredLess(a, b scoredValue) bool {
+	if a.w != b.w {
+		return a.w < b.w
+	}
+	return a.v.Key() > b.v.Key()
+}
+
+// baseScore is the score contribution of the non-null attributes of te;
+// it is constant across candidates.
+func (p *problem) baseScore() float64 {
+	s := 0.0
+	schema := p.g.Schema()
+	for a := 0; a < schema.Arity(); a++ {
+		if v := p.te.At(a); !v.IsNull() {
+			s += p.pref.Weight(schema.Attr(a), v)
+		}
+	}
+	return s
+}
+
+// assemble builds a complete tuple from te and the chosen Z values.
+func (p *problem) assemble(zv []model.Value) *model.Tuple {
+	t := p.te.Clone()
+	for i, a := range p.zAttr {
+		t.SetAt(a, zv[i])
+	}
+	return t
+}
+
+// check verifies a candidate via the chase (Section 6.1): the revised
+// specification with t as the initial template must be Church-Rosser.
+func (p *problem) check(t *model.Tuple) bool {
+	p.stats.Checks++
+	return p.g.Run(t).CR
+}
+
+// exhausted reports whether the check budget has been spent.
+func (p *problem) exhausted() bool {
+	return p.pref.MaxChecks > 0 && p.stats.Checks >= p.pref.MaxChecks
+}
+
+// key identifies a Z-assignment for duplicate suppression.
+func zKey(zv []model.Value) string {
+	k := ""
+	for i, v := range zv {
+		if i > 0 {
+			k += "\x1f"
+		}
+		k += v.Key()
+	}
+	return k
+}

@@ -1,0 +1,156 @@
+package topk_test
+
+import (
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/model"
+	"repro/internal/rule"
+	"repro/internal/topk"
+)
+
+// unconstrained builds a grounding whose open attributes carry no rules,
+// so every assignment passes the check — the setting where the
+// enumeration behaviour of the algorithms is fully visible.
+func unconstrained(t *testing.T, listLens []int) (*chase.Grounding, *model.Tuple) {
+	t.Helper()
+	attrs := make([]string, len(listLens)+1)
+	attrs[0] = "id"
+	for i := range listLens {
+		attrs[i+1] = string(rune('a' + i))
+	}
+	s := model.MustSchema("r", attrs...)
+	ie := model.NewEntityInstance(s)
+	// Column i holds listLens[i] distinct values where value v appears
+	// (l - v) times, giving a strictly ranked occurrence list. The tuple
+	// count is the largest triangular total.
+	n := 0
+	for _, l := range listLens {
+		if t := l * (l + 1) / 2; t > n {
+			n = t
+		}
+	}
+	for r := 0; r < n; r++ {
+		vals := make([]model.Value, len(attrs))
+		vals[0] = model.S("e")
+		for i, l := range listLens {
+			rr := r % (l * (l + 1) / 2)
+			v := 0
+			for cum := l; rr >= cum; v++ {
+				cum += l - v - 1
+			}
+			vals[i+1] = model.I(int64(v))
+		}
+		ie.MustAdd(model.MustTuple(s, vals...))
+	}
+	g, err := chase.NewGrounding(chase.Spec{Ie: ie, Rules: rule.MustSet(s, nil)}, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.Run(nil)
+	if !res.CR {
+		t.Fatal(res.Conflict)
+	}
+	return g, res.Target
+}
+
+// TestEarlyTerminationChecks: with every assignment passing, TopKCT must
+// verify exactly k assignments (Proposition 7's early termination).
+func TestEarlyTerminationChecks(t *testing.T) {
+	g, te := unconstrained(t, []int{4, 4, 4})
+	for _, k := range []int{1, 3, 7} {
+		_, stats, err := topk.TopKCT(g, te, topk.Preference{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Checks != k {
+			t.Errorf("k=%d: checks = %d, want exactly k", k, stats.Checks)
+		}
+	}
+}
+
+// TestHeapPopEconomy: TopKCT must not pop each heap beyond what the k-th
+// result requires (the instance-optimality claim): for k=1 only the top
+// of each heap is needed (plus the one-step lookahead of the expansion).
+func TestHeapPopEconomy(t *testing.T) {
+	g, te := unconstrained(t, []int{6, 6, 6})
+	_, stats, err := topk.TopKCT(g, te, topk.Preference{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m pops to prime + at most m lookahead pops on expansion.
+	if stats.Pops > 6 {
+		t.Errorf("k=1 pops = %d, want ≤ 6", stats.Pops)
+	}
+	full := 6 + 6 + 6 // the exhaustive alternative
+	if stats.Pops >= full {
+		t.Errorf("pops = %d did not beat exhaustive %d", stats.Pops, full)
+	}
+}
+
+// TestMaxChecksBudget: the search returns what it found when the check
+// budget runs out, never exceeding it.
+func TestMaxChecksBudget(t *testing.T) {
+	g, te := unconstrained(t, []int{5, 5})
+	cands, stats, err := topk.TopKCT(g, te, topk.Preference{K: 20, MaxChecks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checks > 4 {
+		t.Errorf("checks = %d exceeds budget", stats.Checks)
+	}
+	if len(cands) != 4 {
+		t.Errorf("candidates = %d, want 4 (all checks passed)", len(cands))
+	}
+}
+
+// TestMaxDomainCap: master-only tail values are truncated but instance
+// values survive.
+func TestMaxDomainCap(t *testing.T) {
+	s := model.MustSchema("r", "id", "m")
+	ie := model.NewEntityInstance(s)
+	ie.MustAdd(model.MustTuple(s, model.S("e"), model.S("inst-a")))
+	ie.MustAdd(model.MustTuple(s, model.S("e"), model.S("inst-b")))
+	ms := model.MustSchema("master", "id", "m")
+	im := model.NewMasterRelation(ms)
+	for i := 0; i < 500; i++ {
+		im.MustAdd(model.MustTuple(ms, model.S("other"), model.I(int64(i))))
+	}
+	g, err := chase.NewGrounding(chase.Spec{Ie: ie, Im: im, Rules: rule.MustSet(s, ms)}, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	te := g.Run(nil).Target
+	cands, stats, err := topk.TopKCT(g, te, topk.Preference{K: 600, MaxDomain: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Domain: 2 instance values + 10 kept master values + ⊥ = 13.
+	if len(cands) > 13 {
+		t.Errorf("cap ignored: %d candidates", len(cands))
+	}
+	if stats.Checks > 13 {
+		t.Errorf("checked %d assignments, cap ignored", stats.Checks)
+	}
+	// The two instance values must rank first.
+	if v, _ := cands[0].Tuple.Get("m"); v.Kind() != model.String {
+		t.Errorf("top candidate should carry an instance value, got %v", v)
+	}
+}
+
+// TestRankJoinBudgetReturnsPartial: hitting the join budget returns the
+// candidates found so far with ErrBudget.
+func TestRankJoinBudgetReturnsPartial(t *testing.T) {
+	g, te := unconstrained(t, []int{8, 8, 8, 8})
+	cands, _, err := topk.RankJoinCTOpts(g, te, topk.Preference{K: 5000},
+		topk.RankJoinOptions{MaxGenerated: 100})
+	if err == nil {
+		t.Fatalf("expected ErrBudget")
+	}
+	// Partial results are still valid candidates.
+	for _, c := range cands {
+		if !g.Run(c.Tuple).CR {
+			t.Errorf("partial result fails check")
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package topk
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/model"
+)
+
+// TopKCT computes a top-k list of candidate targets following Fig. 5 of
+// the paper: per-attribute value heaps feed buffers B1..Bm, a priority
+// queue pops assignments in non-increasing score order, each popped
+// assignment is verified by the chase-based check, and its m neighbours
+// (each differing in a single attribute, taking the next-ranked value)
+// are pushed. The enumeration visits assignments in exactly best-first
+// order, so it terminates as soon as k candidates are verified (early
+// termination), and only pops each heap as far as the k-th result
+// requires (instance optimality w.r.t. heap pops).
+//
+// te must be the deduced target of a Church-Rosser grounding g; its
+// non-null attributes are fixed in every candidate. The returned
+// candidates are in non-increasing score order.
+func TopKCT(g *chase.Grounding, te *model.Tuple, pref Preference) ([]Candidate, Stats, error) {
+	p := newProblem(g, te, pref)
+	cands, err := topkSearch(p, pref.K, true)
+	return cands, p.stats, err
+}
+
+// topkSearch runs the Fig. 5 enumeration; withCheck false skips the
+// candidate verification (used by TopKCTh's first phase).
+func topkSearch(p *problem, k int, withCheck bool) ([]Candidate, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("topk: k must be positive, got %d", k)
+	}
+	m := len(p.zAttr)
+	base := p.baseScore()
+	if m == 0 {
+		// te is already complete; it is its own single candidate.
+		if !withCheck || p.check(p.te) {
+			return []Candidate{{Tuple: p.te.Clone(), Score: base}}, nil
+		}
+		return nil, nil
+	}
+
+	// Build the heaps H1..Hm and pop the top value of each into the
+	// buffers (Fig. 5 line 2).
+	heaps := make([]*valueHeap, m)
+	bufs := make([][]scoredValue, m)
+	for i := 0; i < m; i++ {
+		heaps[i] = newValueHeap(p.lists[i], &p.stats.Pops)
+		top, ok := heaps[i].Pop()
+		if !ok {
+			return nil, fmt.Errorf("topk: attribute %s has an empty candidate domain",
+				p.g.Schema().Attr(p.zAttr[i]))
+		}
+		bufs[i] = []scoredValue{top}
+	}
+
+	mk := func(pos []int) *object {
+		o := &object{pos: pos, vals: make([]scoredValue, m), w: base}
+		zv := make([]model.Value, m)
+		for i, pi := range pos {
+			o.vals[i] = bufs[i][pi]
+			o.w += o.vals[i].w
+			o.posSum += pi
+			zv[i] = o.vals[i].v
+		}
+		o.key = zKey(zv)
+		return o
+	}
+
+	seen := map[string]bool{}
+	var q pairingHeap
+	first := mk(make([]int, m))
+	seen[first.key] = true
+	q.Push(first)
+	p.stats.Generated++
+
+	var out []Candidate
+	for len(out) < k && !p.exhausted() {
+		o, ok := q.Pop()
+		if !ok {
+			break
+		}
+		zv := make([]model.Value, m)
+		for i := range zv {
+			zv[i] = o.vals[i].v
+		}
+		t := p.assemble(zv)
+		if !withCheck || p.check(t) {
+			out = append(out, Candidate{Tuple: t, Score: o.w})
+		}
+		// Expand the m single-attribute successors (Fig. 5 lines 10-15).
+		for i := 0; i < m; i++ {
+			next := o.pos[i] + 1
+			if next >= len(bufs[i]) {
+				v, ok := heaps[i].Pop()
+				if !ok {
+					continue // this attribute's domain is exhausted
+				}
+				bufs[i] = append(bufs[i], v)
+			}
+			pos := append([]int(nil), o.pos...)
+			pos[i] = next
+			o2 := mk(pos)
+			if !seen[o2.key] {
+				seen[o2.key] = true
+				q.Push(o2)
+				p.stats.Generated++
+			}
+		}
+	}
+	return out, nil
+}
+
+// TopKCTh is the PTIME heuristic of Section 6.3: it first enumerates the
+// k best assignments without verification, then greedily repairs each
+// one attribute at a time — fixing the highest-ranked value that keeps
+// the partial template chase-consistent — until the tuple passes the
+// candidate check. Tuples that cannot be repaired are dropped, so the
+// result is always a set of true candidate targets, though not
+// necessarily the k highest-scoring ones (the cost/quality trade-off the
+// paper describes).
+func TopKCTh(g *chase.Grounding, te *model.Tuple, pref Preference) ([]Candidate, Stats, error) {
+	p := newProblem(g, te, pref)
+	raw, err := topkSearch(p, pref.K, false)
+	if err != nil {
+		return nil, p.stats, err
+	}
+	var out []Candidate
+	dedup := map[string]bool{}
+	for _, c := range raw {
+		if p.exhausted() {
+			break
+		}
+		t, ok := p.repair(c.Tuple)
+		if !ok {
+			continue
+		}
+		k := t.Key()
+		if dedup[k] {
+			continue
+		}
+		dedup[k] = true
+		out = append(out, Candidate{Tuple: t, Score: p.score(t)})
+	}
+	// Keep non-increasing score order after repairs.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && candLess(out[j-1], out[j]); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	if len(out) > pref.K {
+		out = out[:pref.K]
+	}
+	return out, p.stats, nil
+}
+
+func candLess(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Tuple.Key() > b.Tuple.Key()
+}
+
+// score computes p({t}).
+func (p *problem) score(t *model.Tuple) float64 {
+	s := 0.0
+	schema := p.g.Schema()
+	for a := 0; a < schema.Arity(); a++ {
+		if v := t.At(a); !v.IsNull() {
+			s += p.pref.Weight(schema.Attr(a), v)
+		}
+	}
+	return s
+}
+
+// repair greedily fixes the Z attributes of t one at a time: each
+// attribute takes the first value (t's own value first, then the ranked
+// list) whose partial template passes the chase check. The final step
+// checks the complete tuple, so success implies candidacy.
+func (p *problem) repair(t *model.Tuple) (*model.Tuple, bool) {
+	partial := p.te.Clone()
+	for i, a := range p.zAttr {
+		fixed := false
+		tryValue := func(v model.Value) bool {
+			partial.SetAt(a, v)
+			if p.check(partial) {
+				return true
+			}
+			partial.SetAt(a, model.NullValue())
+			return false
+		}
+		if tryValue(t.At(a)) {
+			continue
+		}
+		for _, sv := range p.lists[i] {
+			if sv.v.Equal(t.At(a)) {
+				continue
+			}
+			if tryValue(sv.v) {
+				fixed = true
+				break
+			}
+		}
+		if !fixed {
+			return nil, false
+		}
+	}
+	return partial, true
+}

@@ -1,0 +1,228 @@
+package truth_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/paperdata"
+	"repro/internal/rule"
+	"repro/internal/truth"
+)
+
+func TestVoting(t *testing.T) {
+	ie := paperdata.Stat()
+	te := truth.Voting(ie)
+	// FN: Michael appears 3 times vs MJ once.
+	if v, _ := te.Get(paperdata.FN); !v.Equal(model.S("Michael")) {
+		t.Errorf("FN = %v", v)
+	}
+	// MN: only Jeffrey is non-null.
+	if v, _ := te.Get(paperdata.MN); !v.Equal(model.S("Jeffrey")) {
+		t.Errorf("MN = %v", v)
+	}
+	// J#: 45 appears 3 times — voting picks the (wrong) majority.
+	if v, _ := te.Get(paperdata.JNo); !v.Equal(model.I(45)) {
+		t.Errorf("J# = %v", v)
+	}
+	// rnds: all distinct — deterministic tie-break, but non-null.
+	if v, _ := te.Get(paperdata.Rnds); v.IsNull() {
+		t.Errorf("rnds should be voted non-null")
+	}
+}
+
+func TestVotingAllNull(t *testing.T) {
+	s := model.MustSchema("r", "a")
+	ie := model.NewEntityInstance(s)
+	ie.MustAdd(model.MustTuple(s, model.NullValue()))
+	te := truth.Voting(ie)
+	if v, _ := te.Get("a"); !v.IsNull() {
+		t.Errorf("voting on all-null column should stay null")
+	}
+}
+
+func TestDeduceOrderPartial(t *testing.T) {
+	// With only the currency rules ϕ1–ϕ3 (no master), DeduceOrder
+	// resolves rnds/totalPts on the NBA tuples but not league. The SL
+	// tuple t4 is excluded: without the master data its rounds are
+	// incomparable and nothing is deducible — exactly the weakness the
+	// paper measures for DeduceOrder.
+	full := paperdata.Stat()
+	ie := model.NewEntityInstance(full.Schema())
+	for i := 0; i < 3; i++ { // t1..t3: the NBA tuples
+		ie.MustAdd(full.Tuple(i).Clone())
+	}
+	var currency []rule.Rule
+	for _, r := range paperdata.Rules() {
+		switch r.Name() {
+		case "phi1", "phi2", "phi3":
+			currency = append(currency, r)
+		}
+	}
+	rs, err := rule.NewSet(ie.Schema(), nil, currency...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := truth.DeduceOrder(ie, nil, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := te.Get(paperdata.Rnds); !v.Equal(model.I(27)) {
+		t.Errorf("rnds = %v, want 27", v)
+	}
+	if v, _ := te.Get(paperdata.TotalPts); !v.Equal(model.I(772)) {
+		t.Errorf("totalPts = %v, want 772", v)
+	}
+	if v, _ := te.Get(paperdata.JNo); !v.Equal(model.I(23)) {
+		t.Errorf("J# = %v, want 23", v)
+	}
+	if v, _ := te.Get(paperdata.FN); !v.IsNull() {
+		t.Errorf("FN = %v, want null (no currency information on names)", v)
+	}
+}
+
+func TestDeduceOrderConflict(t *testing.T) {
+	// Conflicting currency orders: DeduceOrder answers nothing.
+	s := model.MustSchema("r", "a")
+	ie := model.NewEntityInstance(s)
+	ie.MustAdd(model.MustTuple(s, model.I(1)))
+	ie.MustAdd(model.MustTuple(s, model.I(2)))
+	up := &rule.Form1{RuleName: "up",
+		LHS: []rule.Pred{rule.Cmp(rule.T1("a"), rule.Lt, rule.T2("a"))}, RHS: "a"}
+	down := &rule.Form1{RuleName: "down",
+		LHS: []rule.Pred{rule.Cmp(rule.T1("a"), rule.Gt, rule.T2("a"))}, RHS: "a"}
+	te, err := truth.DeduceOrder(ie, nil, rule.MustSet(s, nil, up, down))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := te.Get("a"); !v.IsNull() {
+		t.Errorf("conflicting orders should deduce nothing, got %v", v)
+	}
+}
+
+// synthClaims builds a claim set with known truth: good sources are
+// right with probability pGood, bad ones with pBad, and copiers
+// replicate their master's claims (errors included).
+func synthClaims(rng *rand.Rand, entities, goodN, badN, copierN int) ([]truth.Claim, map[string]model.Value) {
+	truthVals := map[string]model.Value{}
+	var claims []truth.Claim
+	value := func(e int) model.Value { return model.I(int64(e % 7)) }
+	wrong := func(e int, r *rand.Rand) model.Value { return model.I(int64(7 + r.Intn(5))) }
+
+	for e := 0; e < entities; e++ {
+		truthVals[fmt.Sprintf("e%d", e)] = value(e)
+	}
+	claimOf := map[string]map[int]model.Value{}
+	mk := func(name string, p float64) {
+		claimOf[name] = map[int]model.Value{}
+		for e := 0; e < entities; e++ {
+			v := value(e)
+			if rng.Float64() > p {
+				v = wrong(e, rng)
+			}
+			claimOf[name][e] = v
+			claims = append(claims, truth.Claim{
+				Source: name, Entity: fmt.Sprintf("e%d", e), Attr: "a", Val: v,
+			})
+		}
+	}
+	for i := 0; i < goodN; i++ {
+		mk(fmt.Sprintf("good%d", i), 0.95)
+	}
+	for i := 0; i < badN; i++ {
+		mk(fmt.Sprintf("bad%d", i), 0.3)
+	}
+	// Copiers replicate bad0 exactly.
+	for i := 0; i < copierN; i++ {
+		name := fmt.Sprintf("copier%d", i)
+		for e := 0; e < entities; e++ {
+			claims = append(claims, truth.Claim{
+				Source: name, Entity: fmt.Sprintf("e%d", e), Attr: "a", Val: claimOf["bad0"][e],
+			})
+		}
+	}
+	return claims, truthVals
+}
+
+func TestCopyCEFRecoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	claims, want := synthClaims(rng, 60, 4, 2, 0)
+	res := truth.CopyCEF(claims, truth.CopyCEFOptions{})
+	correct := 0
+	for e, v := range want {
+		if got, ok := res.Truth[e]["a"]; ok && got.Equal(v) {
+			correct++
+		}
+	}
+	if correct < 55 {
+		t.Errorf("copyCEF recovered %d/60 truths", correct)
+	}
+	// Good sources must end with higher estimated accuracy than bad ones.
+	if res.Accuracy["good0"] <= res.Accuracy["bad0"] {
+		t.Errorf("accuracy good0=%v <= bad0=%v", res.Accuracy["good0"], res.Accuracy["bad0"])
+	}
+}
+
+func TestCopyCEFDetectsCopiers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// 3 copiers of one bad source would out-vote 3 good sources under
+	// naive voting on the entities bad0 gets wrong; copy detection must
+	// discount them.
+	claims, want := synthClaims(rng, 80, 3, 1, 3)
+	res := truth.CopyCEF(claims, truth.CopyCEFOptions{})
+	correct := 0
+	for e, v := range want {
+		if got, ok := res.Truth[e]["a"]; ok && got.Equal(v) {
+			correct++
+		}
+	}
+	if correct < 70 {
+		t.Errorf("copyCEF with copiers recovered %d/80 truths", correct)
+	}
+	// The copier pair must show high copy probability.
+	p := res.Copier["bad0|copier0"]
+	if p == 0 {
+		p = res.Copier["copier0|bad0"]
+	}
+	if p < 0.5 {
+		t.Errorf("copier0/bad0 copy probability = %v, want > 0.5", p)
+	}
+	// Independent good sources must not look like copiers.
+	q := res.Copier["good0|good1"]
+	if q > 0.5 {
+		t.Errorf("good0/good1 copy probability = %v, want < 0.5", q)
+	}
+}
+
+func TestCopyCEFProb(t *testing.T) {
+	claims := []truth.Claim{
+		{Source: "s1", Entity: "e", Attr: "a", Val: model.S("x")},
+		{Source: "s2", Entity: "e", Attr: "a", Val: model.S("x")},
+		{Source: "s3", Entity: "e", Attr: "a", Val: model.S("y")},
+	}
+	res := truth.CopyCEF(claims, truth.CopyCEFOptions{})
+	if v := res.Truth["e"]["a"]; !v.Equal(model.S("x")) {
+		t.Errorf("truth = %v, want x", v)
+	}
+	if p := res.Prob("e", "a", model.S("x")); p <= 0.5 {
+		t.Errorf("P(x) = %v, want > 0.5", p)
+	}
+	if p := res.Prob("e", "a", model.S("z")); p != 0 {
+		t.Errorf("P(unclaimed) = %v, want 0", p)
+	}
+	if p := res.Prob("missing", "a", model.S("x")); p != 0 {
+		t.Errorf("P on missing entity = %v, want 0", p)
+	}
+}
+
+func TestCopyCEFNullClaimsIgnored(t *testing.T) {
+	claims := []truth.Claim{
+		{Source: "s1", Entity: "e", Attr: "a", Val: model.NullValue()},
+		{Source: "s2", Entity: "e", Attr: "a", Val: model.S("x")},
+	}
+	res := truth.CopyCEF(claims, truth.CopyCEFOptions{})
+	if v := res.Truth["e"]["a"]; !v.Equal(model.S("x")) {
+		t.Errorf("truth = %v, want x", v)
+	}
+}
