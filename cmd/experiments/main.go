@@ -20,11 +20,15 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	only := flag.String("only", "", "comma-separated report IDs to run (default: all)")
+	par := flag.Int("par", 0, "workers for the per-entity loops (unset: GOMAXPROCS for quality sweeps, sequential for timing experiments)")
 	flag.Parse()
 
 	cfg := bench.Default()
 	if *quick {
 		cfg = bench.Quick()
+	}
+	if *par > 0 {
+		cfg.Workers = *par
 	}
 	s := bench.NewSuite(cfg)
 

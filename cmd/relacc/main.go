@@ -1,7 +1,7 @@
 // Command relacc runs relative-accuracy deduction on CSV data:
 //
 //	relacc deduce -data instance.csv [-master master.csv] -rules rules.txt
-//	relacc topk   -data instance.csv [-master master.csv] -rules rules.txt -k 10 [-algo topkct|rankjoin|topkcth]
+//	relacc topk   -data instance.csv [-master master.csv] -rules rules.txt -k 10 [-algo topkct|rankjoin|topkcth] [-par N]
 //	relacc check  -data instance.csv [-master master.csv] -rules rules.txt -candidate cand.csv
 //	relacc rules  -rules rules.txt -data instance.csv [-master master.csv]
 //
@@ -36,6 +36,7 @@ func main() {
 	rulesPath := fs.String("rules", "", "accuracy rule file (required)")
 	k := fs.Int("k", 10, "number of candidate targets (topk)")
 	algo := fs.String("algo", "topkct", "top-k algorithm: topkct, rankjoin or topkcth")
+	par := fs.Int("par", -1, "concurrent candidate checks (1 = sequential, -1 = GOMAXPROCS)")
 	candPath := fs.String("candidate", "", "candidate tuple CSV (check)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -92,7 +93,7 @@ func main() {
 		}
 		fmt.Println("deduced (incomplete) target:")
 		printTarget(ie.Schema(), res.Target)
-		cands, stats, err := sess.TopK(core.Preference{K: *k}, a)
+		cands, stats, err := sess.TopK(core.Preference{K: *k, Parallel: *par}, a)
 		if err != nil {
 			fatal(err)
 		}

@@ -43,6 +43,14 @@ type Config struct {
 	// percentages are stable well below the full 2.7K entities, and the
 	// sweeps multiply every entity by ~20 configurations.
 	QualitySample int
+	// Workers bounds how many entities are evaluated concurrently in
+	// the per-entity loops. Entities are independent — each gets its
+	// own grounding — so the sweeps scale with cores. 0 means
+	// GOMAXPROCS for the quality/accuracy sweeps but sequential for the
+	// timing experiments (Fig 7a/7b, IsCR timing), whose per-entity
+	// wall-clock figures would otherwise be inflated by contention; set
+	// Workers explicitly to fan those out too.
+	Workers int
 }
 
 // Default matches the paper's experimental setting.
@@ -81,6 +89,9 @@ func Quick() Config {
 		SynK:        5,
 		MedBuckets:  [][2]int{{1, 8}, {9, 16}},
 		KValues:     []int{5, 15},
+		// Force real concurrency in the per-entity loops even on
+		// single-core CI machines, so the -race tests exercise it.
+		Workers: 4,
 	}
 }
 

@@ -17,14 +17,21 @@ func (s *Suite) Fig6a() (*Report, error) {
 		Header: []string{"dataset", "complete targets"},
 	}
 	for _, ds := range []*gen.Dataset{s.med(), s.cfp()} {
-		var c stats.Counter
-		for _, e := range ds.Entities {
-			g, err := groundEntity(ds, e)
+		found := make([]bool, len(ds.Entities))
+		if err := s.parEach(len(ds.Entities), func(i int) error {
+			g, err := groundEntity(ds, ds.Entities[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res := g.Run(nil)
-			c.Add(res.CR && res.Target.Complete())
+			found[i] = res.CR && res.Target.Complete()
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		var c stats.Counter
+		for _, f := range found {
+			c.Add(f)
 		}
 		rep.Rows = append(rep.Rows, []string{ds.Name, c.Percent()})
 	}
@@ -45,16 +52,25 @@ func (s *Suite) Fig6e() (*Report, error) {
 	for _, ds := range []*gen.Dataset{s.med(), s.cfp()} {
 		row := []string{ds.Name}
 		for _, rules := range []*rule.Set{ds.Rules.Form1Only(), ds.Rules.Form2Only(), ds.Rules} {
-			var c stats.Counter
-			for _, e := range ds.Entities {
-				g, err := groundEntityRules(ds, e, rules)
+			hits := make([]int, len(ds.Entities))
+			if err := s.parEach(len(ds.Entities), func(i int) error {
+				g, err := groundEntityRules(ds, ds.Entities[i], rules)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				res := g.Run(nil)
 				for a := 0; a < ds.Schema.Arity(); a++ {
-					c.Add(res.CR && !res.Target.At(a).IsNull())
+					if res.CR && !res.Target.At(a).IsNull() {
+						hits[i]++
+					}
 				}
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			c := stats.Counter{Trials: len(ds.Entities) * ds.Schema.Arity()}
+			for _, h := range hits {
+				c.Hits += h
 			}
 			row = append(row, c.Percent())
 		}
@@ -77,14 +93,21 @@ func (s *Suite) CompleteByForm() (*Report, error) {
 	for _, ds := range []*gen.Dataset{s.med(), s.cfp()} {
 		row := []string{ds.Name}
 		for _, rules := range []*rule.Set{ds.Rules.Form1Only(), ds.Rules.Form2Only(), ds.Rules} {
-			var c stats.Counter
-			for _, e := range ds.Entities {
-				g, err := groundEntityRules(ds, e, rules)
+			found := make([]bool, len(ds.Entities))
+			if err := s.parEach(len(ds.Entities), func(i int) error {
+				g, err := groundEntityRules(ds, ds.Entities[i], rules)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				res := g.Run(nil)
-				c.Add(res.CR && res.Target.Complete())
+				found[i] = res.CR && res.Target.Complete()
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			var c stats.Counter
+			for _, f := range found {
+				c.Add(f)
 			}
 			row = append(row, c.Percent())
 		}
@@ -102,21 +125,34 @@ func (s *Suite) Exp1Accuracy() (*Report, error) {
 		Header: []string{"dataset", "deduced attrs correct"},
 	}
 	for _, ds := range []*gen.Dataset{s.med(), s.cfp()} {
-		var c stats.Counter
-		for _, e := range ds.Entities {
+		type acc struct{ hits, trials int }
+		per := make([]acc, len(ds.Entities))
+		if err := s.parEach(len(ds.Entities), func(i int) error {
+			e := ds.Entities[i]
 			g, err := groundEntity(ds, e)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res := g.Run(nil)
 			if !res.CR {
-				continue
+				return nil
 			}
 			for a := 0; a < ds.Schema.Arity(); a++ {
 				if v := res.Target.At(a); !v.IsNull() {
-					c.Add(v.Equal(e.Truth.At(a)))
+					per[i].trials++
+					if v.Equal(e.Truth.At(a)) {
+						per[i].hits++
+					}
 				}
 			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		var c stats.Counter
+		for _, p := range per {
+			c.Hits += p.hits
+			c.Trials += p.trials
 		}
 		rep.Rows = append(rep.Rows, []string{ds.Name, fmt.Sprintf("%.1f%%", 100*c.Rate())})
 	}

@@ -33,21 +33,29 @@ func (s *Suite) varyK(id string, ds *gen.Dataset) (*Report, error) {
 	for _, k := range s.Cfg.KValues {
 		row := []string{fmt.Sprintf("%d", k)}
 		for vi, rules := range ruleSets {
-			var c stats.Counter
-			for _, e := range sample {
+			found := make([]bool, len(sample))
+			if err := s.parEach(len(sample), func(i int) error {
+				e := sample[i]
 				g, err := groundEntityRules(ds, e, rules)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				algo := topkct
 				if vi == 3 {
 					algo = topkcth
 				}
-				found, err := foundInTopK(g, e, k, algo)
+				ok, err := foundInTopK(g, e, k, algo)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				c.Add(found)
+				found[i] = ok
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			var c stats.Counter
+			for _, f := range found {
+				c.Add(f)
 			}
 			row = append(row, c.Percent())
 		}
@@ -80,17 +88,25 @@ func (s *Suite) varyIm(id string, ds *gen.Dataset, steps int) (*Report, error) {
 		im := ds.Master.Truncate(n)
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, algo := range []topkAlgo{topkct, topkcth} {
-			var c stats.Counter
-			for _, e := range sample {
+			found := make([]bool, len(sample))
+			if err := s.parEach(len(sample), func(j int) error {
+				e := sample[j]
 				g, err := chase.NewGrounding(chase.Spec{Ie: e.Instance, Im: im, Rules: ds.Rules}, chase.Options{})
 				if err != nil {
-					return nil, err
+					return err
 				}
-				found, err := foundInTopK(g, e, 15, algo)
+				ok, err := foundInTopK(g, e, 15, algo)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				c.Add(found)
+				found[j] = ok
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			var c stats.Counter
+			for _, f := range found {
+				c.Add(f)
 			}
 			row = append(row, c.Percent())
 		}

@@ -20,12 +20,14 @@ func (s *Suite) interaction(id string, ds *gen.Dataset, maxRounds int) (*Report,
 		Header: []string{"rounds h", "targets found"},
 	}
 	sample := s.sample(ds)
-	roundsNeeded := make([]int, 0, len(sample))
-	unresolved := 0
-	for _, e := range sample {
+	// rounds[i] holds the rounds entity i needed, or -1 when unresolved.
+	rounds := make([]int, len(sample))
+	if err := s.parEach(len(sample), func(i int) error {
+		e := sample[i]
+		rounds[i] = -1
 		g, err := groundEntity(ds, e)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		oracle := &framework.GroundTruthOracle{Truth: e.Truth}
 		out, err := framework.Run(g, framework.Config{
@@ -34,13 +36,22 @@ func (s *Suite) interaction(id string, ds *gen.Dataset, maxRounds int) (*Report,
 		}, oracle)
 		if err != nil {
 			// Not Church-Rosser: counts as never found.
-			unresolved++
-			continue
+			return nil
 		}
 		if out.Found && out.Target.EqualTo(e.Truth) {
-			roundsNeeded = append(roundsNeeded, out.Rounds)
-		} else {
+			rounds[i] = out.Rounds
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	roundsNeeded := make([]int, 0, len(sample))
+	unresolved := 0
+	for _, r := range rounds {
+		if r < 0 {
 			unresolved++
+		} else {
+			roundsNeeded = append(roundsNeeded, r)
 		}
 	}
 	total := len(sample)

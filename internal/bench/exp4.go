@@ -163,35 +163,11 @@ func (s *Suite) Fig7a() (*Report, error) {
 		cfg.FixedTuples = (bucket[0] + bucket[1]) / 2
 		cfg.Seed = int64(1000 + bucket[0])
 		ds := gen.Generate(cfg)
-		var rj, ct, h stats.Timing
-		for _, e := range ds.Entities {
-			g, err := groundEntity(ds, e)
-			if err != nil {
-				return nil, err
-			}
-			res := g.Run(nil)
-			if !res.CR {
-				continue
-			}
-			pref := topk.Preference{K: 15}
-
-			t0 := time.Now()
-			if _, _, err := topk.RankJoinCTOpts(g, res.Target, pref, topk.RankJoinOptions{MaxGenerated: rankJoinBudget}); err != nil && !errors.Is(err, topk.ErrBudget) {
-				return nil, err
-			}
-			rj.Add(time.Since(t0))
-
-			t0 = time.Now()
-			if _, _, err := topk.TopKCT(g, res.Target, pref); err != nil {
-				return nil, err
-			}
-			ct.Add(time.Since(t0))
-
-			t0 = time.Now()
-			if _, _, err := topk.TopKCTh(g, res.Target, pref); err != nil {
-				return nil, err
-			}
-			h.Add(time.Since(t0))
+		rj, ct, h, err := s.timedTopK(ds.Entities, func(e gen.Entity) (*chase.Grounding, error) {
+			return groundEntity(ds, e)
+		})
+		if err != nil {
+			return nil, err
 		}
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprintf("[%d,%d]", bucket[0], bucket[1]),
@@ -199,6 +175,64 @@ func (s *Suite) Fig7a() (*Report, error) {
 		})
 	}
 	return rep, nil
+}
+
+// timedTopK measures the three top-k algorithms per entity at k=15.
+// By default the loop is sequential so the timings match the paper's
+// methodology; an explicit Config.Workers fans entities out, with each
+// entity's segments timed inside its own worker (contention can
+// inflate the means, but the comparison between algorithms is
+// unaffected since all three run in the same worker back to back).
+func (s *Suite) timedTopK(entities []gen.Entity, ground func(gen.Entity) (*chase.Grounding, error)) (rj, ct, h stats.Timing, err error) {
+	type sample struct {
+		ok         bool
+		rj, ct, th time.Duration
+	}
+	samples := make([]sample, len(entities))
+	err = parEachN(s.timingWorkers(), len(entities), func(i int) error {
+		e := entities[i]
+		g, err := ground(e)
+		if err != nil {
+			return err
+		}
+		res := g.Run(nil)
+		if !res.CR {
+			return nil
+		}
+		pref := topk.Preference{K: 15}
+
+		t0 := time.Now()
+		if _, _, err := topk.RankJoinCTOpts(g, res.Target, pref, topk.RankJoinOptions{MaxGenerated: rankJoinBudget}); err != nil && !errors.Is(err, topk.ErrBudget) {
+			return err
+		}
+		samples[i].rj = time.Since(t0)
+
+		t0 = time.Now()
+		if _, _, err := topk.TopKCT(g, res.Target, pref); err != nil {
+			return err
+		}
+		samples[i].ct = time.Since(t0)
+
+		t0 = time.Now()
+		if _, _, err := topk.TopKCTh(g, res.Target, pref); err != nil {
+			return err
+		}
+		samples[i].th = time.Since(t0)
+		samples[i].ok = true
+		return nil
+	})
+	if err != nil {
+		return rj, ct, h, err
+	}
+	for _, sm := range samples {
+		if !sm.ok {
+			continue
+		}
+		rj.Add(sm.rj)
+		ct.Add(sm.ct)
+		h.Add(sm.th)
+	}
+	return rj, ct, h, nil
 }
 
 // Fig7b reports mean per-entity top-k time on Med as ‖Im‖ grows.
@@ -217,35 +251,11 @@ func (s *Suite) Fig7b() (*Report, error) {
 	for i := 0; i <= 4; i++ {
 		n := full * i / 4
 		im := ds.Master.Truncate(n)
-		var rj, ct, h stats.Timing
-		for _, e := range sample {
-			g, err := chase.NewGrounding(chase.Spec{Ie: e.Instance, Im: im, Rules: ds.Rules}, chase.Options{})
-			if err != nil {
-				return nil, err
-			}
-			res := g.Run(nil)
-			if !res.CR {
-				continue
-			}
-			pref := topk.Preference{K: 15}
-
-			t0 := time.Now()
-			if _, _, err := topk.RankJoinCTOpts(g, res.Target, pref, topk.RankJoinOptions{MaxGenerated: rankJoinBudget}); err != nil && !errors.Is(err, topk.ErrBudget) {
-				return nil, err
-			}
-			rj.Add(time.Since(t0))
-
-			t0 = time.Now()
-			if _, _, err := topk.TopKCT(g, res.Target, pref); err != nil {
-				return nil, err
-			}
-			ct.Add(time.Since(t0))
-
-			t0 = time.Now()
-			if _, _, err := topk.TopKCTh(g, res.Target, pref); err != nil {
-				return nil, err
-			}
-			h.Add(time.Since(t0))
+		rj, ct, h, err := s.timedTopK(sample, func(e gen.Entity) (*chase.Grounding, error) {
+			return chase.NewGrounding(chase.Spec{Ie: e.Instance, Im: im, Rules: ds.Rules}, chase.Options{})
+		})
+		if err != nil {
+			return nil, err
 		}
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprintf("%d", n), ms(rj.Mean()), ms(ct.Mean()), ms(h.Mean()),
@@ -263,15 +273,22 @@ func (s *Suite) IsCRTiming() (*Report, error) {
 		Header: []string{"metric", "value"},
 	}
 	ds := s.med()
-	var t stats.Timing
-	for _, e := range ds.Entities {
-		g, err := groundEntity(ds, e)
+	durs := make([]time.Duration, len(ds.Entities))
+	if err := parEachN(s.timingWorkers(), len(ds.Entities), func(i int) error {
+		g, err := groundEntity(ds, ds.Entities[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t0 := time.Now()
 		g.Run(nil)
-		t.Add(time.Since(t0))
+		durs[i] = time.Since(t0)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var t stats.Timing
+	for _, d := range durs {
+		t.Add(d)
 	}
 	rep.Rows = append(rep.Rows, []string{"mean", ms(t.Mean())})
 	rep.Rows = append(rep.Rows, []string{"p99", ms(t.Percentile(99))})

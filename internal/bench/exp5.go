@@ -68,16 +68,25 @@ func (s *Suite) Table4() (*Report, error) {
 
 	// DeduceOrder: currency constraints only.
 	curRules := truthCurrencyRules(ds)
-	deduceOrder := map[string]bool{}
-	for _, e := range ds.Entities {
-		te, err := truth.DeduceOrder(e.Instance, nil, curRules)
+	deduceClosed := make([]bool, len(ds.Entities))
+	if err := s.parEach(len(ds.Entities), func(i int) error {
+		te, err := truth.DeduceOrder(ds.Entities[i].Instance, nil, curRules)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if v, _ := te.Get("closed"); !v.IsNull() {
 			if b, ok := boolOf(v); ok && b {
-				deduceOrder[e.ID] = true
+				deduceClosed[i] = true
 			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	deduceOrder := map[string]bool{}
+	for i, e := range ds.Entities {
+		if deduceClosed[i] {
+			deduceOrder[e.ID] = true
 		}
 	}
 	evaluate("DeduceOrder", deduceOrder)
@@ -121,15 +130,16 @@ func (s *Suite) Table4() (*Report, error) {
 	// (value occurrences) or from copyCEF probabilities.
 	domains := map[string][]model.Value{"closed": {model.B(true), model.B(false)}}
 	run := func(weight func(e string) func(string, model.Value) float64) (map[string]bool, error) {
-		out := map[string]bool{}
-		for _, e := range ds.Entities {
+		closed := make([]bool, len(ds.Entities))
+		if err := s.parEach(len(ds.Entities), func(i int) error {
+			e := ds.Entities[i]
 			g, err := chase.NewGrounding(chase.Spec{Ie: e.Instance, Rules: ds.Rules}, chase.Options{})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res := g.Run(nil)
 			if !res.CR {
-				continue
+				return nil
 			}
 			v, _ := res.Target.Get("closed")
 			if v.IsNull() {
@@ -139,13 +149,22 @@ func (s *Suite) Table4() (*Report, error) {
 				}
 				cands, _, err := topk.TopKCT(g, res.Target, pref)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if len(cands) > 0 {
 					v, _ = cands[0].Tuple.Get("closed")
 				}
 			}
 			if b, ok := boolOf(v); ok && b {
+				closed[i] = true
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		out := map[string]bool{}
+		for i, e := range ds.Entities {
+			if closed[i] {
 				out[e.ID] = true
 			}
 		}
@@ -187,29 +206,40 @@ func (s *Suite) Exp5CFP() (*Report, error) {
 		Header: []string{"method", "targets correct"},
 	}
 
-	var vote, dord, tk stats.Counter
 	curRules := cfpCurrencyRules(ds)
-	for _, e := range ds.Entities {
+	type verdicts struct{ vote, dord, tk bool }
+	per := make([]verdicts, len(ds.Entities))
+	if err := s.parEach(len(ds.Entities), func(i int) error {
+		e := ds.Entities[i]
 		// Voting.
-		vote.Add(truth.Voting(e.Instance).EqualTo(e.Truth))
+		per[i].vote = truth.Voting(e.Instance).EqualTo(e.Truth)
 
 		// DeduceOrder with currency rules only.
 		te, err := truth.DeduceOrder(e.Instance, nil, curRules)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		dord.Add(te.EqualTo(e.Truth))
+		per[i].dord = te.EqualTo(e.Truth)
 
 		// TopKCT k=1 with the full rule set.
 		g, err := groundEntity(ds, e)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		found, err := foundInTopK(g, e, 1, topkct)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tk.Add(found)
+		per[i].tk = found
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var vote, dord, tk stats.Counter
+	for _, v := range per {
+		vote.Add(v.vote)
+		dord.Add(v.dord)
+		tk.Add(v.tk)
 	}
 	rep.Rows = append(rep.Rows, []string{"voting", vote.Percent()})
 	rep.Rows = append(rep.Rows, []string{"DeduceOrder", dord.Percent()})

@@ -43,6 +43,20 @@
 // consequences are chased once into a base state, so each Run only
 // replays template-dependent work; this is what makes the thousands of
 // candidate checks issued by the top-k algorithms affordable.
+//
+// On top of the shared base state, checks are pooled and parallel. A
+// Checker keeps one run engine alive across checks: its buffers
+// (order matrices, λ counts, premise counters, dead/pushed flags, the
+// event queue and the form-2 re-registration map) are reused, and the
+// base snapshot is restored between runs through dirty-row tracking
+// (order.Relation.ResetFrom) — only the rows the previous run modified
+// are rewritten, so a check that derives little does near-zero restore
+// work instead of re-cloning O(nattr · n²/64) words. A CheckerPool
+// (sync.Pool) shares such engines among goroutines, and
+// Grounding.CheckBatch fans a candidate list out over a worker pool.
+// The Grounding itself is immutable after NewGrounding, which is what
+// makes all of this safe: any number of engines may read it
+// concurrently.
 package chase
 
 import (
@@ -136,10 +150,12 @@ type form2Entry struct {
 	rowIdx  int32
 }
 
-// form2Key indexes a pending condition te[attr] = want.
+// form2Key indexes a pending condition te[attr] = want. The value is
+// stored normalized (model.Value.Norm) so key construction on the
+// chase hot path allocates nothing.
 type form2Key struct {
 	attr int32
-	key  string
+	val  model.Value
 }
 
 // compiledForm2 is a form-(2) rule with attribute references resolved to
@@ -217,6 +233,13 @@ type corrRule struct {
 // Grounding is the reusable, immutable product of Instantiation plus the
 // template-independent base chase. Create one with NewGrounding; run the
 // template-dependent part with Run.
+//
+// A Grounding is read-only after construction: Run, Checker.Check and
+// CheckBatch never mutate it, so any number of goroutines may issue
+// checks against the same Grounding concurrently (enforced by the race
+// tests in pool_test.go). All mutable chase state lives in per-run
+// engines; the only internal synchronisation is the lazily created
+// checker pool.
 type Grounding struct {
 	ie        *model.EntityInstance
 	im        *model.MasterRelation
@@ -226,10 +249,10 @@ type Grounding struct {
 	nattr     int
 	useAxioms bool
 
-	valKey      [][]string         // [attr][tuple] equality key ("" for null)
-	isNull      [][]bool           // [attr][tuple]
-	valueGroups []map[string][]int // [attr][value key] -> tuple indices
-	vals        [][]model.Value    // [attr][tuple]
+	valKey      [][]string              // [attr][tuple] equality key ("" for null)
+	isNull      [][]bool                // [attr][tuple]
+	valueGroups []map[model.Value][]int // [attr][normalized value] -> tuple indices
+	vals        [][]model.Value         // [attr][tuple]
 
 	steps      []groundStep
 	orderTrig  map[uint64][]predRef
@@ -250,6 +273,9 @@ type Grounding struct {
 	basePushed   []bool
 	baseSteps    int
 	baseConflict string
+
+	poolOnce sync.Once
+	pool     *CheckerPool
 }
 
 // NewGrounding validates the rules, performs Instantiation and chases
@@ -312,14 +338,14 @@ func (g *Grounding) indexValues() {
 	g.valKey = make([][]string, na)
 	g.isNull = make([][]bool, na)
 	g.vals = make([][]model.Value, na)
-	g.valueGroups = make([]map[string][]int, na)
+	g.valueGroups = make([]map[model.Value][]int, na)
 	g.targetTrig = make([][]predRef, na)
 	g.corrs = make([][]corrRule, na)
 	for a := 0; a < na; a++ {
 		g.valKey[a] = make([]string, n)
 		g.isNull[a] = make([]bool, n)
 		g.vals[a] = make([]model.Value, n)
-		g.valueGroups[a] = make(map[string][]int)
+		g.valueGroups[a] = make(map[model.Value][]int)
 		for i := 0; i < n; i++ {
 			v := g.ie.Value(i, a)
 			g.vals[a][i] = v
@@ -328,9 +354,9 @@ func (g *Grounding) indexValues() {
 				g.valKey[a][i] = ""
 				continue
 			}
-			k := v.Key()
-			g.valKey[a][i] = k
-			g.valueGroups[a][k] = append(g.valueGroups[a][k], i)
+			g.valKey[a][i] = v.Key()
+			nv := v.Norm()
+			g.valueGroups[a][nv] = append(g.valueGroups[a][nv], i)
 		}
 	}
 }
@@ -552,8 +578,8 @@ func (ix *form2Index) ground(schema *model.Schema, im *model.MasterRelation, f *
 		case attr < 0:
 			// A condition can never be satisfied (null master value).
 		default:
-			ix.trig[form2Key{attr, want.Key()}] = append(
-				ix.trig[form2Key{attr, want.Key()}], entry)
+			ix.trig[form2Key{attr, want.Norm()}] = append(
+				ix.trig[form2Key{attr, want.Norm()}], entry)
 		}
 	}
 }
@@ -702,7 +728,23 @@ func (g *Grounding) Run(template *model.Tuple) *Result {
 	if g.baseConflict != "" {
 		return &Result{CR: false, Conflict: g.baseConflict}
 	}
-	e := newRunEngine(g)
+	e := newRunEngine(g, false)
+	g.runWith(e, template)
+	res := &Result{
+		CR:       e.conflict == "",
+		Conflict: e.conflict,
+		Steps:    e.stepsApplied,
+	}
+	if res.CR {
+		res.Target = e.te
+		res.Orders = e.orders
+	}
+	return res
+}
+
+// runWith drives the template-dependent chase on an engine primed with
+// the base snapshot (fresh or pooled-and-reset).
+func (g *Grounding) runWith(e *engine, template *model.Tuple) {
 	if template != nil {
 		for a := 0; a < g.nattr; a++ {
 			if v := template.At(a); !v.IsNull() {
@@ -733,16 +775,6 @@ func (g *Grounding) Run(template *model.Tuple) *Result {
 		}
 	}
 	e.drain()
-	res := &Result{
-		CR:       e.conflict == "",
-		Conflict: e.conflict,
-		Steps:    e.stepsApplied,
-	}
-	if res.CR {
-		res.Target = e.te
-		res.Orders = e.orders
-	}
-	return res
 }
 
 // Deduce is the convenience entry point matching the paper's IsCR: it

@@ -28,8 +28,9 @@ type event struct {
 // per-template runs. It processes a FIFO worklist of events, each of
 // which is one (possibly built-in) chase step enforced atomically.
 type engine struct {
-	g    *Grounding
-	base bool // base mode: template-independent only — no te, no λ, no ϕ8
+	g      *Grounding
+	base   bool // base mode: template-independent only — no te, no λ, no ϕ8
+	pooled bool // pooled mode: buffers are retained and reset across runs
 
 	orders *order.Set
 	counts [][]int32 // per attr: for each j, #{i≠j : i ⪯ j}
@@ -41,6 +42,9 @@ type engine struct {
 	// advanced past their first condition (the grounding's form2Trig is
 	// immutable and shared across runs).
 	form2More map[form2Key][]form2Entry
+	// deadTouched lists the step indices marked dead this run, so a
+	// pooled reset clears them without wiping the whole slice.
+	deadTouched []int32
 
 	queue []event
 	head  int
@@ -70,11 +74,19 @@ func newEngine(g *Grounding, base bool) *engine {
 }
 
 // newRunEngine creates an engine that continues from the grounding's
-// base snapshot.
-func newRunEngine(g *Grounding) *engine {
+// base snapshot. In pooled mode the engine's buffers survive drain()
+// and reset() restores the base state in time proportional to the rows
+// the previous run actually modified (dirty-row tracking on the order
+// matrices), instead of reallocating O(nattr · n²/64) words per check.
+func newRunEngine(g *Grounding, pooled bool) *engine {
+	orders := g.baseOrders.Clone
+	if pooled {
+		orders = g.baseOrders.CloneTracked
+	}
 	e := &engine{
 		g:      g,
-		orders: g.baseOrders.Clone(),
+		pooled: pooled,
+		orders: orders(),
 		counts: make([][]int32, g.nattr),
 		te:     model.NewTuple(g.schema),
 		npred:  append([]int32(nil), g.baseNpred...),
@@ -85,6 +97,42 @@ func newRunEngine(g *Grounding) *engine {
 		e.counts[a] = append([]int32(nil), g.baseCounts[a]...)
 	}
 	return e
+}
+
+// reset restores a pooled engine to the grounding's base snapshot,
+// reusing every buffer. Order matrices are restored via dirty-row
+// tracking; the flat per-step slices are rewritten wholesale (they are
+// O(n) and O(|Γ|) int32/bool copies, cheap next to the matrices).
+func (e *engine) reset() {
+	g := e.g
+	e.orders.ResetFrom(g.baseOrders)
+	for a := range e.counts {
+		copy(e.counts[a], g.baseCounts[a])
+	}
+	copy(e.npred, g.baseNpred)
+	copy(e.pushed, g.basePushed)
+	for _, s := range e.deadTouched {
+		e.dead[s] = false
+	}
+	e.deadTouched = e.deadTouched[:0]
+	for a := 0; a < g.nattr; a++ {
+		e.te.SetAt(a, model.Value{})
+	}
+	clear(e.form2More)
+	e.queue = e.queue[:0]
+	e.head = 0
+	e.conflict = ""
+	e.stepsApplied = 0
+}
+
+// markDead records that step s can never fire this run.
+func (e *engine) markDead(s int32) {
+	if !e.dead[s] {
+		e.dead[s] = true
+		if e.pooled {
+			e.deadTouched = append(e.deadTouched, s)
+		}
+	}
 }
 
 func (e *engine) pushPair(attr, i, j int32) {
@@ -117,8 +165,13 @@ func (e *engine) drain() {
 			e.applyStep(ev.idx)
 		}
 	}
-	// Release the queue memory for long-lived engines.
-	e.queue = nil
+	if e.pooled {
+		// Keep the buffer: the next run refills it after reset().
+		e.queue = e.queue[:0]
+	} else {
+		// Release the queue memory for long-lived engines.
+		e.queue = nil
+	}
 	e.head = 0
 }
 
@@ -264,13 +317,13 @@ func (e *engine) applyTarget(attr int32, v model.Value) {
 		} else {
 			// te[attr] will never change again, so the premise — and with
 			// it the whole step — can never be satisfied.
-			e.dead[ref.step] = true
+			e.markDead(ref.step)
 		}
 	}
 	if e.g.useAxioms {
 		// ϕ8: every tuple is at most as accurate as the tuples whose
 		// attr value equals the (now known) target value.
-		group := e.g.valueGroups[attr][v.Key()]
+		group := e.g.valueGroups[attr][v.Norm()]
 		if len(group) > 0 {
 			e.orders.Attr(int(attr)).AddAllTo(group, func(x, y int) {
 				if e.conflict == "" {
@@ -284,7 +337,7 @@ func (e *engine) applyTarget(attr int32, v model.Value) {
 // fireForm2 advances the form-2 entries waiting on te[attr] = v: each
 // either fires its consequence, waits on its next condition, or dies.
 func (e *engine) fireForm2(attr int32, v model.Value) {
-	key := form2Key{attr, v.Key()}
+	key := form2Key{attr, v.Norm()}
 	entries := e.g.form2.trig[key]
 	if more, ok := e.form2More[key]; ok {
 		entries = append(append([]form2Entry(nil), entries...), more...)
@@ -299,7 +352,7 @@ func (e *engine) fireForm2(attr int32, v model.Value) {
 		case nextAttr < 0:
 			// dead: a condition mismatched
 		default:
-			k := form2Key{nextAttr, want.Key()}
+			k := form2Key{nextAttr, want.Norm()}
 			if e.form2More == nil {
 				e.form2More = map[form2Key][]form2Entry{}
 			}

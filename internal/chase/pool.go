@@ -1,0 +1,155 @@
+package chase
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+)
+
+// Checker is a reusable chase runner over a shared Grounding. Where
+// Grounding.Run allocates a fresh engine — deep-cloning the base order
+// matrices, O(nattr · n²/64) words — every call, a Checker keeps one
+// engine alive and restores the base snapshot between runs by rewriting
+// only the rows the previous run touched. The top-k algorithms issue
+// thousands of checks per entity against one grounding, which is what
+// makes this reuse pay.
+//
+// A Checker is NOT safe for concurrent use; give each goroutine its own
+// (the underlying Grounding is shared safely). Use a CheckerPool to
+// hand checkers out across goroutines.
+type Checker struct {
+	g *Grounding
+	e *engine
+}
+
+// NewChecker creates a reusable checker over g.
+func (g *Grounding) NewChecker() *Checker {
+	return &Checker{g: g, e: newRunEngine(g, true)}
+}
+
+// Check reports whether the specification revised with the given target
+// template is Church-Rosser — the candidate check of Section 6.1. It is
+// equivalent to g.Run(template).CR but reuses the checker's buffers,
+// performing (almost) no allocation per call.
+func (c *Checker) Check(template *model.Tuple) bool {
+	return c.CheckConflict(template) == ""
+}
+
+// CheckConflict is Check with the conflict description: it returns ""
+// when the revised specification is Church-Rosser and the first invalid
+// step's description otherwise.
+func (c *Checker) CheckConflict(template *model.Tuple) string {
+	if c.g.baseConflict != "" {
+		return c.g.baseConflict
+	}
+	c.e.reset()
+	c.g.runWith(c.e, template)
+	return c.e.conflict
+}
+
+// Target returns the target tuple deduced by the last successful Check,
+// cloned so it survives the checker's next run. It is only meaningful
+// immediately after a Check that returned true.
+func (c *Checker) Target() *model.Tuple {
+	return c.e.te.Clone()
+}
+
+// CheckerPool is a sync.Pool-backed pool of Checkers over one
+// Grounding: concurrent candidate verification borrows an engine,
+// runs, and returns it, so steady-state checking allocates nothing and
+// the number of live engines tracks the number of goroutines actually
+// checking.
+type CheckerPool struct {
+	g    *Grounding
+	pool sync.Pool
+}
+
+// NewCheckerPool creates a pool of checkers over g.
+func NewCheckerPool(g *Grounding) *CheckerPool {
+	p := &CheckerPool{g: g}
+	p.pool.New = func() any { return g.NewChecker() }
+	return p
+}
+
+// Get borrows a checker; return it with Put when done.
+func (p *CheckerPool) Get() *Checker { return p.pool.Get().(*Checker) }
+
+// Put returns a borrowed checker to the pool.
+func (p *CheckerPool) Put(c *Checker) { p.pool.Put(c) }
+
+// Check borrows a checker for a single candidate check.
+func (p *CheckerPool) Check(template *model.Tuple) bool {
+	c := p.Get()
+	ok := c.Check(template)
+	p.Put(c)
+	return ok
+}
+
+// CheckMany verifies n candidates on up to parallelism workers, each
+// borrowing a pooled checker: candidate i is read via tuple(i) and its
+// verdict delivered via verdict(i, ok). Workers pull indices off a
+// shared counter, so one expensive check does not stall the rest. The
+// callbacks must be safe for concurrent invocation on distinct indices
+// (index-addressed slices are the intended use).
+func (p *CheckerPool) CheckMany(parallelism, n int, tuple func(int) *model.Tuple, verdict func(int, bool)) {
+	if n == 0 {
+		return
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism == 1 {
+		c := p.Get()
+		for i := 0; i < n; i++ {
+			verdict(i, c.Check(tuple(i)))
+		}
+		p.Put(c)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := p.Get()
+			defer p.Put(c)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				verdict(i, c.Check(tuple(i)))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Pool returns the grounding's shared checker pool, creating it on
+// first use. All callers verifying candidates against g — the top-k
+// algorithms, CheckBatch, user code — share one pool so engines are
+// reused across call sites.
+func (g *Grounding) Pool() *CheckerPool {
+	g.poolOnce.Do(func() { g.pool = NewCheckerPool(g) })
+	return g.pool
+}
+
+// CheckBatch verifies the candidate templates concurrently on up to
+// parallelism goroutines (<= 0 means GOMAXPROCS) and returns one
+// verdict per candidate, aligned with the input. Each worker borrows a
+// pooled engine, so the batch allocates no per-check engine state. The
+// result is identical to calling g.Run(c).CR for each candidate in
+// order: checks are independent, and the grounding is never mutated.
+func (g *Grounding) CheckBatch(candidates []*model.Tuple, parallelism int) []bool {
+	out := make([]bool, len(candidates))
+	g.Pool().CheckMany(parallelism, len(candidates),
+		func(i int) *model.Tuple { return candidates[i] },
+		func(i int, ok bool) { out[i] = ok })
+	return out
+}

@@ -81,7 +81,15 @@ func (s *Session) DeduceFrom(template *model.Tuple) *Result { return s.g.Run(tem
 
 // Check verifies a complete candidate target (Section 6.1): the
 // specification with t as the initial template must be Church-Rosser.
-func (s *Session) Check(t *model.Tuple) bool { return s.g.Run(t).CR }
+// Checks run on the grounding's pooled engines, so repeated checks are
+// allocation-free.
+func (s *Session) Check(t *model.Tuple) bool { return s.g.Pool().Check(t) }
+
+// CheckBatch verifies many candidate targets concurrently (parallelism
+// <= 0 means GOMAXPROCS) and returns one verdict per candidate.
+func (s *Session) CheckBatch(cands []*model.Tuple, parallelism int) []bool {
+	return s.g.CheckBatch(cands, parallelism)
+}
 
 // TopK computes top-k candidate targets for the current deduced target
 // using the selected algorithm. It fails when the specification is not

@@ -12,6 +12,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -200,6 +201,33 @@ func (v Value) Quote() string {
 		return strconv.Quote(v.s)
 	}
 	return v.String()
+}
+
+// Norm returns a canonical representative of v with the same equality
+// semantics as Key: Equal values normalize identically, ints fold into
+// floats (they compare equal numerically, so int64 magnitudes beyond
+// float64 precision collide — exactly as their Key strings do), and
+// unused payload fields are zeroed. The result is directly usable as a
+// map key and — unlike Key — allocates nothing.
+func (v Value) Norm() Value {
+	switch v.kind {
+	case String:
+		return Value{kind: String, s: v.s}
+	case Int:
+		return Value{kind: Float, f: float64(v.i)}
+	case Float:
+		if math.IsNaN(v.f) {
+			// NaN != NaN under ==, which would make the result useless
+			// as a map key; fold every NaN to a sentinel no real value
+			// normalizes to, preserving Key's "nNaN" grouping.
+			return Value{kind: Bool, s: "NaN"}
+		}
+		return Value{kind: Float, f: v.f}
+	case Bool:
+		return Value{kind: Bool, b: v.b}
+	default:
+		return Value{}
+	}
 }
 
 // Key returns a string that is identical exactly for Equal values, for

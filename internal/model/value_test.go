@@ -1,6 +1,7 @@
 package model
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -149,5 +150,28 @@ func TestCompareProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestNormMatchesKeyGrouping(t *testing.T) {
+	vals := []Value{
+		NullValue(), S(""), S("x"), S("NaN"),
+		I(0), I(3), I(-7), F(3), F(3.5), F(-7),
+		B(true), B(false),
+		Parse("NaN"), F(math.NaN()),
+	}
+	for _, v := range vals {
+		for _, w := range vals {
+			keyEq := v.Key() == w.Key()
+			normEq := v.Norm() == w.Norm()
+			if keyEq != normEq {
+				t.Errorf("%v vs %v: Key equality %v, Norm equality %v", v, w, keyEq, normEq)
+			}
+		}
+	}
+	// NaN must be usable as a map key (NaN != NaN would lose entries).
+	m := map[Value]int{F(math.NaN()).Norm(): 1}
+	if m[Parse("NaN").Norm()] != 1 {
+		t.Error("NaN-normalized value is not retrievable from a map")
 	}
 }

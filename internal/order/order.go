@@ -27,6 +27,30 @@ type Relation struct {
 	n    int
 	w    int      // 64-bit words per row
 	rows []uint64 // n rows of w words; bit j of row i means i ⪯ j
+	// dirty, when non-nil, is a bitset over rows recording which rows
+	// have been written since the last ResetFrom. It lets a relation that
+	// started as a snapshot of a base relation restore the base state by
+	// rewriting only the rows it diverged on — the snapshot-restore
+	// scheme behind the chase engine pool.
+	dirty []uint64
+	// scratch is the reusable one-row mask buffer of Add/AddAllTo/
+	// SetClique/SetBelow; pairBuf backs Add's result slice. Both make
+	// the mutation hot path allocation-free on a long-lived relation.
+	scratch []uint64
+	pairBuf []Pair
+}
+
+// mask returns the scratch buffer, zeroed and sized to one row.
+func (r *Relation) mask() []uint64 {
+	if cap(r.scratch) < r.w {
+		r.scratch = make([]uint64, r.w)
+	} else {
+		r.scratch = r.scratch[:r.w]
+		for i := range r.scratch {
+			r.scratch[i] = 0
+		}
+	}
+	return r.scratch
 }
 
 // New creates an empty relation over n tuples.
@@ -43,11 +67,20 @@ func (r *Relation) Size() int { return r.n }
 
 // Has reports whether i ⪯ j has been derived.
 func (r *Relation) Has(i, j int) bool {
-	return r.rows[i*r.w+j>>6]&(1<<(uint(j)&63)) != 0
+	return r.rows[i*r.w+(j>>6)]&(1<<(uint(j)&63)) != 0
 }
 
 func (r *Relation) set(i, j int) {
-	r.rows[i*r.w+j>>6] |= 1 << (uint(j) & 63)
+	r.rows[i*r.w+(j>>6)] |= 1 << (uint(j) & 63)
+	r.markRow(i)
+}
+
+// markRow records that row i diverged from the snapshot this relation
+// was cloned from; a no-op on untracked relations.
+func (r *Relation) markRow(i int) {
+	if r.dirty != nil {
+		r.dirty[i>>6] |= 1 << (uint(i) & 63)
+	}
 }
 
 // row returns the slice of words forming row i.
@@ -57,18 +90,19 @@ func (r *Relation) row(i int) []uint64 { return r.rows[i*r.w : (i+1)*r.w] }
 // the pairs that are newly derived, including (i, j) itself; adding an
 // already-derived pair returns nil. Reflexive pairs (i == j) are
 // permitted and harmless. Conflict detection is the caller's concern:
-// inspect the returned pairs with Mutual.
+// inspect the returned pairs with Mutual. The returned slice is backed
+// by a per-relation buffer and only valid until the next Add.
 func (r *Relation) Add(i, j int) []Pair {
 	if r.Has(i, j) {
 		return nil
 	}
 	w := r.w
 	// mask = successors of j, plus j itself.
-	mask := make([]uint64, w)
+	mask := r.mask()
 	copy(mask, r.row(j))
 	mask[j>>6] |= 1 << (uint(j) & 63)
 
-	var added []Pair
+	added := r.pairBuf[:0]
 	apply := func(p int) {
 		row := r.row(p)
 		base := p
@@ -78,6 +112,7 @@ func (r *Relation) Add(i, j int) []Pair {
 				continue
 			}
 			row[wi] |= diff
+			r.markRow(p)
 			for diff != 0 {
 				b := diff & -diff
 				added = append(added, Pair{From: base, To: wi<<6 + bits.TrailingZeros64(b)})
@@ -91,6 +126,7 @@ func (r *Relation) Add(i, j int) []Pair {
 			apply(p)
 		}
 	}
+	r.pairBuf = added
 	return added
 }
 
@@ -103,7 +139,7 @@ func (r *Relation) AddAllTo(group []int, visit func(from, to int)) {
 		return
 	}
 	w := r.w
-	mask := make([]uint64, w)
+	mask := r.mask()
 	for _, g := range group {
 		row := r.row(g)
 		for wi := 0; wi < w; wi++ {
@@ -119,6 +155,7 @@ func (r *Relation) AddAllTo(group []int, visit func(from, to int)) {
 				continue
 			}
 			row[wi] |= diff
+			r.markRow(p)
 			for diff != 0 {
 				b := diff & -diff
 				visit(p, wi<<6+bits.TrailingZeros64(b))
@@ -137,7 +174,7 @@ func (r *Relation) SetClique(members []int) {
 		return
 	}
 	w := r.w
-	mask := make([]uint64, w)
+	mask := r.mask()
 	for _, m := range members {
 		mask[m>>6] |= 1 << (uint(m) & 63)
 	}
@@ -146,6 +183,7 @@ func (r *Relation) SetClique(members []int) {
 		for wi := 0; wi < w; wi++ {
 			row[wi] |= mask[wi]
 		}
+		r.markRow(m)
 	}
 }
 
@@ -159,7 +197,7 @@ func (r *Relation) SetBelow(los, his []int) {
 		return
 	}
 	w := r.w
-	mask := make([]uint64, w)
+	mask := r.mask()
 	for _, h := range his {
 		mask[h>>6] |= 1 << (uint(h) & 63)
 	}
@@ -168,6 +206,7 @@ func (r *Relation) SetBelow(los, his []int) {
 		for wi := 0; wi < w; wi++ {
 			row[wi] |= mask[wi]
 		}
+		r.markRow(l)
 	}
 }
 
@@ -256,17 +295,78 @@ func (r *Relation) Len() int {
 	return c
 }
 
-// Clone returns a deep copy of the relation.
+// Clone returns a deep copy of the relation (without dirty tracking).
 func (r *Relation) Clone() *Relation {
 	out := &Relation{n: r.n, w: r.w, rows: make([]uint64, len(r.rows))}
 	copy(out.rows, r.rows)
 	return out
 }
 
+// CloneTracked returns a deep copy with dirty-row tracking enabled: the
+// copy records every row it subsequently writes, and ResetFrom(r)
+// restores it to r's state by rewriting only those rows. The base
+// relation r must not change while tracked copies restore from it.
+func (r *Relation) CloneTracked() *Relation {
+	out := r.Clone()
+	out.dirty = make([]uint64, (r.n+63)/64)
+	return out
+}
+
+// CloneInto overwrites dst with a deep copy of r, reusing dst's buffers
+// when shapes match (reallocating otherwise). dst's dirty-tracking mode
+// is preserved; all rows are marked clean.
+func (r *Relation) CloneInto(dst *Relation) {
+	if dst.n != r.n || dst.w != r.w || len(dst.rows) != len(r.rows) {
+		dst.n, dst.w = r.n, r.w
+		dst.rows = make([]uint64, len(r.rows))
+		if dst.dirty != nil {
+			dst.dirty = make([]uint64, (r.n+63)/64)
+		}
+	}
+	copy(dst.rows, r.rows)
+	for i := range dst.dirty {
+		dst.dirty[i] = 0
+	}
+}
+
 // CopyFrom overwrites r with src's contents; the relations must have the
 // same size. It lets a chase runner reuse allocations across runs.
 func (r *Relation) CopyFrom(src *Relation) {
 	copy(r.rows, src.rows)
+}
+
+// ResetFrom restores r to the contents of base, rewriting only the rows
+// written since the relation was created with CloneTracked (or since the
+// previous ResetFrom), and marks every row clean again. On an untracked
+// relation it falls back to a full CopyFrom. r must have started as a
+// copy of base: only dirty rows are touched.
+func (r *Relation) ResetFrom(base *Relation) {
+	if r.dirty == nil {
+		r.CopyFrom(base)
+		return
+	}
+	w := r.w
+	for wi, word := range r.dirty {
+		if word == 0 {
+			continue
+		}
+		r.dirty[wi] = 0
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			copy(r.rows[i*w:(i+1)*w], base.rows[i*w:(i+1)*w])
+			word &= word - 1
+		}
+	}
+}
+
+// DirtyRows returns the number of rows currently marked dirty; it is
+// used by tests and by callers sizing restore work.
+func (r *Relation) DirtyRows() int {
+	c := 0
+	for _, word := range r.dirty {
+		c += bits.OnesCount64(word)
+	}
+	return c
 }
 
 // TransitiveOK verifies the relation is transitively closed; it is used
@@ -324,10 +424,28 @@ func (s *Set) Clone() *Set {
 	return out
 }
 
+// CloneTracked deep-copies all relations with dirty-row tracking
+// enabled, so the copy can ResetFrom(s) cheaply after divergence.
+func (s *Set) CloneTracked() *Set {
+	out := &Set{n: s.n, attrs: s.attrs, rels: make([]*Relation, s.attrs)}
+	for i, r := range s.rels {
+		out.rels[i] = r.CloneTracked()
+	}
+	return out
+}
+
 // CopyFrom overwrites s with src's contents; shapes must match.
 func (s *Set) CopyFrom(src *Set) {
 	for i, r := range s.rels {
 		r.CopyFrom(src.rels[i])
+	}
+}
+
+// ResetFrom restores every relation to base's contents, touching only
+// rows written since the last reset (see Relation.ResetFrom).
+func (s *Set) ResetFrom(base *Set) {
+	for i, r := range s.rels {
+		r.ResetFrom(base.rels[i])
 	}
 }
 

@@ -300,3 +300,112 @@ func TestLargeRelation(t *testing.T) {
 		t.Errorf("Max = %d", r.Max())
 	}
 }
+
+func TestBitIndexBeyondWordBoundary(t *testing.T) {
+	// Regression test for the bit-index expression in Has/set: with
+	// n > 64 the word offset is i*w + (j>>6); a misparse as
+	// (i*w + j) >> 6 would address the wrong word. Exercise bits on both
+	// sides of every word boundary.
+	n := 130 // three words per row
+	r := New(n)
+	pairs := [][2]int{{0, 63}, {0, 64}, {0, 65}, {1, 127}, {1, 128}, {2, 129}, {129, 0}}
+	for _, p := range pairs {
+		r.Add(p[0], p[1])
+	}
+	for _, p := range pairs {
+		if !r.Has(p[0], p[1]) {
+			t.Errorf("Has(%d, %d) = false after Add", p[0], p[1])
+		}
+	}
+	// Spot-check neighbouring bits stayed clear (no closure links them).
+	for _, p := range [][2]int{{0, 62}, {0, 66}, {1, 126}, {2, 128}, {128, 0}} {
+		if r.Has(p[0], p[1]) {
+			t.Errorf("Has(%d, %d) = true, never added", p[0], p[1])
+		}
+	}
+}
+
+func TestCloneTrackedResetFrom(t *testing.T) {
+	n := 100
+	base := New(n)
+	base.Add(1, 2)
+	base.Add(2, 3)
+
+	r := base.CloneTracked()
+	if got := r.DirtyRows(); got != 0 {
+		t.Fatalf("fresh tracked clone has %d dirty rows", got)
+	}
+	r.Add(70, 80)
+	r.Add(0, 1) // row 0 gains 1,2,3 by closure
+	if r.DirtyRows() == 0 {
+		t.Fatal("writes did not mark rows dirty")
+	}
+	r.ResetFrom(base)
+	if got := r.DirtyRows(); got != 0 {
+		t.Fatalf("ResetFrom left %d dirty rows", got)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Has(i, j) != base.Has(i, j) {
+				t.Fatalf("after ResetFrom, (%d,%d): got %v want %v", i, j, r.Has(i, j), base.Has(i, j))
+			}
+		}
+	}
+	// The restored relation is reusable: diverge and restore again.
+	r.AddAllTo([]int{5}, func(int, int) {})
+	r.SetClique([]int{90, 91})
+	r.SetBelow([]int{10}, []int{11})
+	r.ResetFrom(base)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Has(i, j) != base.Has(i, j) {
+				t.Fatalf("second ResetFrom, (%d,%d): got %v want %v", i, j, r.Has(i, j), base.Has(i, j))
+			}
+		}
+	}
+}
+
+func TestSetCloneTrackedResetFrom(t *testing.T) {
+	base := NewSet(2, 70)
+	base.Attr(0).Add(0, 1)
+	base.Attr(1).Add(65, 66)
+
+	s := base.CloneTracked()
+	s.Attr(0).Add(2, 3)
+	s.Attr(1).Add(0, 69)
+	s.ResetFrom(base)
+	for a := 0; a < 2; a++ {
+		if got, want := s.Attr(a).Len(), base.Attr(a).Len(); got != want {
+			t.Errorf("attr %d: Len = %d after reset, want %d", a, got, want)
+		}
+	}
+	if s.Attr(0).Has(2, 3) || s.Attr(1).Has(0, 69) {
+		t.Error("diverged pairs survived ResetFrom")
+	}
+}
+
+func TestCloneInto(t *testing.T) {
+	src := New(80)
+	src.Add(0, 70)
+	dst := New(80)
+	src.CloneInto(dst)
+	if !dst.Has(0, 70) {
+		t.Error("CloneInto did not copy rows")
+	}
+	// Shape mismatch reallocates.
+	small := New(3)
+	src.CloneInto(small)
+	if small.Size() != 80 || !small.Has(0, 70) {
+		t.Error("CloneInto did not adopt source shape")
+	}
+	// Tracked destinations come back clean.
+	tracked := src.CloneTracked()
+	tracked.Add(5, 6)
+	src.CloneInto(tracked)
+	if tracked.DirtyRows() != 0 {
+		t.Error("CloneInto left dirty rows")
+	}
+	if tracked.Has(5, 6) {
+		t.Error("CloneInto kept diverged pair")
+	}
+}

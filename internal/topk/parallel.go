@@ -1,0 +1,155 @@
+// Speculative parallel candidate verification.
+//
+// All three top-k algorithms share one structural property: the
+// sequence of candidates they check is independent of the check
+// *outcomes* — a verdict only decides whether a candidate is emitted
+// and when the search stops (the k-th pass, or the MaxChecks budget).
+// Enumeration (heap pops, queue expansion, rank-join advancement) is
+// driven purely by scores. The sequential run is therefore a prefix of
+// a deterministic "check stream", cut at the k-th passing candidate.
+//
+// runStream exploits this: it produces the stream in waves, verifies
+// each wave concurrently on pooled chase engines, and then replays the
+// verdicts in stream order to find the exact sequential stopping point.
+// Checks speculated beyond that point are discarded — the returned
+// passes, check count and enumeration-counter snapshot are identical to
+// the sequential execution, which consumes the very same stream one
+// event at a time.
+package topk
+
+import (
+	"runtime"
+
+	"repro/internal/chase"
+	"repro/internal/model"
+)
+
+// parallelism resolves Preference.Parallel to a worker count.
+func (p *problem) parallelism() int {
+	switch {
+	case p.pref.Parallel < 0:
+		return runtime.GOMAXPROCS(0)
+	case p.pref.Parallel == 0:
+		return 1
+	default:
+		return p.pref.Parallel
+	}
+}
+
+// checkEvent is one candidate of the deterministic check stream,
+// carrying the cumulative enumeration counters observed right after the
+// event was produced (the values Stats would hold at the end of the
+// sequential iteration that checked it).
+type checkEvent struct {
+	t         *model.Tuple
+	score     float64
+	pops      int
+	generated int
+}
+
+// streamOutcome is what the sequential algorithm would have observed.
+type streamOutcome struct {
+	passes []checkEvent // passing events in stream order, cut at needed
+	checks int          // checks the sequential run would have spent
+	// cut reports that the needed-th pass was reached mid-stream. Only
+	// then must the caller rewind its enumeration counters to (pops,
+	// generated) — the snapshot at the cut event — to discard
+	// speculative enumeration; otherwise the live counters already
+	// reflect the full stream, exactly as the sequential run left them.
+	cut       bool
+	pops      int
+	generated int
+	err       error // enumeration error (e.g. ErrBudget), nil if cut first
+}
+
+// runStream drives the check stream produced by next with par
+// concurrent workers borrowing engines from pool. At most budget events
+// are checked (0 = unlimited — the stream's own end bounds it), and the
+// stream is cut immediately after the event yielding the needed-th pass
+// (needed <= 0 disables the cut). next returns ok=false at stream end
+// and may return an enumeration error, which is reported only when the
+// cut was not reached first — exactly when the sequential run would
+// have hit it.
+func runStream(pool *chase.CheckerPool, par, budget, needed int, base checkEvent, next func() (checkEvent, bool, error)) streamOutcome {
+	out := streamOutcome{pops: base.pops, generated: base.generated}
+	// Waves start at one event per worker and double up to 4·par: short
+	// streams (a repair probe whose first value usually passes) waste at
+	// most par-1 speculative checks, while long streams amortise wave
+	// dispatch over bigger batches.
+	waveCap := 4 * par
+	if waveCap < 8 {
+		waveCap = 8
+	}
+	wave := par
+	events := make([]checkEvent, 0, waveCap)
+	verdicts := make([]bool, waveCap)
+	last := base
+	produced := 0
+	var streamErr error
+	ended := false
+	for !ended {
+		events = events[:0]
+		for len(events) < wave {
+			if budget > 0 && produced >= budget {
+				ended = true
+				break
+			}
+			ev, ok, err := next()
+			if err != nil {
+				streamErr = err
+				ended = true
+				break
+			}
+			if !ok {
+				ended = true
+				break
+			}
+			events = append(events, ev)
+			produced++
+		}
+		if len(events) == 0 {
+			break
+		}
+		if wave *= 2; wave > waveCap {
+			wave = waveCap
+		}
+		checkWave(pool, par, events, verdicts[:len(events)])
+		for i, ev := range events {
+			out.checks++
+			last = ev
+			if verdicts[i] {
+				out.passes = append(out.passes, ev)
+				if needed > 0 && len(out.passes) == needed {
+					// The sequential run stops here: discard everything
+					// speculated beyond this event, including any
+					// enumeration error produced while speculating.
+					out.cut = true
+					out.pops, out.generated = ev.pops, ev.generated
+					return out
+				}
+			}
+		}
+	}
+	out.pops, out.generated = last.pops, last.generated
+	out.err = streamErr
+	return out
+}
+
+// checkWave verifies events concurrently, writing verdicts aligned with
+// events.
+func checkWave(pool *chase.CheckerPool, par int, events []checkEvent, verdicts []bool) {
+	pool.CheckMany(par, len(events),
+		func(i int) *model.Tuple { return events[i].t },
+		func(i int, ok bool) { verdicts[i] = ok })
+}
+
+// remainingBudget translates MaxChecks into a runStream budget given
+// the checks already spent; the second result is false when the budget
+// is already exhausted.
+func (p *problem) remainingBudget() (int, bool) {
+	if p.pref.MaxChecks <= 0 {
+		return 0, true
+	}
+	left := p.pref.MaxChecks - p.stats.Checks
+	return left, left > 0
+}

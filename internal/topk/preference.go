@@ -48,6 +48,13 @@ type Preference struct {
 	// the search against master relations whose columns would otherwise
 	// contribute thousands of candidate values per attribute.
 	MaxDomain int
+	// Parallel sets how many chase-based candidate checks run
+	// concurrently, each on a pooled engine: 0 or 1 means sequential,
+	// n > 1 uses n checker goroutines, and a negative value uses
+	// GOMAXPROCS. Parallel verification is speculative but exact: the
+	// candidate list, its order and the Stats counters are identical to
+	// the sequential run (see parallel.go).
+	Parallel int
 }
 
 // OccurrenceWeight builds the default preference used throughout the
@@ -112,13 +119,14 @@ type problem struct {
 	pref  Preference
 	zAttr []int           // schema positions of null attributes of te
 	lists [][]scoredValue // per zAttr, descending weight
+	pool  *chase.CheckerPool
 	stats Stats
 }
 
 // newProblem derives the search space: the null attributes Z of te and
 // their ranked value lists.
 func newProblem(g *chase.Grounding, te *model.Tuple, pref Preference) *problem {
-	p := &problem{g: g, te: te, pref: pref}
+	p := &problem{g: g, te: te, pref: pref, pool: g.Pool()}
 	if pref.Weight == nil {
 		pref.Weight = OccurrenceWeight(g.Instance())
 		p.pref.Weight = pref.Weight
@@ -207,9 +215,10 @@ func (p *problem) assemble(zv []model.Value) *model.Tuple {
 
 // check verifies a candidate via the chase (Section 6.1): the revised
 // specification with t as the initial template must be Church-Rosser.
+// It runs on a pooled engine, so a check allocates no engine state.
 func (p *problem) check(t *model.Tuple) bool {
 	p.stats.Checks++
-	return p.g.Run(t).CR
+	return p.pool.Check(t)
 }
 
 // exhausted reports whether the check budget has been spent.

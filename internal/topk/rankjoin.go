@@ -143,56 +143,90 @@ func RankJoinCTOpts(g *chase.Grounding, te *model.Tuple, pref Preference, opts R
 		return nil, p.stats, err
 	}
 
-	var out []Candidate
+	// nextEmit yields the next combination the sequential loop would
+	// check: buffered combinations beating the current threshold, with
+	// the round-robin lists advanced (and re-joined) in between. The
+	// emission order does not depend on check verdicts, so it forms a
+	// verdict-independent check stream (see parallel.go).
 	next := 0
-	for len(out) < k && !p.exhausted() {
-		tau, more := threshold()
-		// Emit every buffered combination that beats the threshold.
-		for len(out) < k && !p.exhausted() {
-			o, ok := buffer.Pop()
-			if !ok {
-				break
+	emitTau, emitMore := 0.0, false
+	emitting := false
+	nextEmit := func() (checkEvent, bool, error) {
+		for {
+			if !emitting {
+				emitTau, emitMore = threshold()
+				emitting = true
 			}
-			if more && o.w < tau {
+			o, ok := buffer.Pop()
+			if ok && (!emitMore || o.w >= emitTau) {
+				zv := make([]model.Value, m)
+				for x := range zv {
+					zv[x] = o.vals[x].v
+				}
+				t := p.assemble(zv)
+				return checkEvent{t: t, score: o.w, pops: p.stats.Pops, generated: p.stats.Generated}, true, nil
+			}
+			if ok {
 				// Cannot emit yet: an unseen combination might be better.
 				buffer.Push(o)
-				break
 			}
-			zv := make([]model.Value, m)
-			for x := range zv {
-				zv[x] = o.vals[x].v
-			}
-			t := p.assemble(zv)
-			if p.check(t) {
-				out = append(out, Candidate{Tuple: t, Score: o.w})
-			}
-		}
-		if len(out) >= k {
-			break
-		}
-		if !more {
-			if buffer.Len() == 0 {
-				break // search space exhausted
-			}
-			continue
-		}
-		// Advance the round-robin cursor to the next non-exhausted list.
-		advanced := false
-		for tries := 0; tries < m; tries++ {
-			i := next
-			next = (next + 1) % m
-			if depth[i] < len(p.lists[i]) {
-				depth[i]++
-				p.stats.Pops++
-				if err := join(i); err != nil {
-					return out, p.stats, err
+			emitting = false
+			if !emitMore {
+				if buffer.Len() == 0 {
+					return checkEvent{}, false, nil // search space exhausted
 				}
-				advanced = true
-				break
+				continue // drain the buffer threshold-free
+			}
+			// Advance the round-robin cursor to the next non-exhausted list.
+			advanced := false
+			for tries := 0; tries < m; tries++ {
+				i := next
+				next = (next + 1) % m
+				if depth[i] < len(p.lists[i]) {
+					depth[i]++
+					p.stats.Pops++
+					if err := join(i); err != nil {
+						return checkEvent{}, false, err
+					}
+					advanced = true
+					break
+				}
+			}
+			if !advanced && buffer.Len() == 0 {
+				return checkEvent{}, false, nil
 			}
 		}
-		if !advanced && buffer.Len() == 0 {
+	}
+
+	if p.parallelism() > 1 {
+		budget, ok := p.remainingBudget()
+		if !ok {
+			return nil, p.stats, nil
+		}
+		oc := runStream(p.pool, p.parallelism(), budget, k,
+			checkEvent{pops: p.stats.Pops, generated: p.stats.Generated}, nextEmit)
+		p.stats.Checks += oc.checks
+		if oc.cut {
+			p.stats.Pops, p.stats.Generated = oc.pops, oc.generated
+		}
+		out := make([]Candidate, 0, len(oc.passes))
+		for _, ev := range oc.passes {
+			out = append(out, Candidate{Tuple: ev.t, Score: ev.score})
+		}
+		return out, p.stats, oc.err
+	}
+
+	var out []Candidate
+	for len(out) < k && !p.exhausted() {
+		ev, ok, err := nextEmit()
+		if err != nil {
+			return out, p.stats, err
+		}
+		if !ok {
 			break
+		}
+		if p.check(ev.t) {
+			out = append(out, Candidate{Tuple: ev.t, Score: ev.score})
 		}
 	}
 	return out, p.stats, nil

@@ -76,21 +76,20 @@ func topkSearch(p *problem, k int, withCheck bool) ([]Candidate, error) {
 	q.Push(first)
 	p.stats.Generated++
 
-	var out []Candidate
-	for len(out) < k && !p.exhausted() {
+	// next pops the best queued assignment and expands its m
+	// single-attribute successors (Fig. 5 lines 10-15). Expansion does
+	// not depend on the popped assignment's verdict, so the assignments
+	// form a verdict-independent check stream (see parallel.go).
+	next := func() (checkEvent, bool, error) {
 		o, ok := q.Pop()
 		if !ok {
-			break
+			return checkEvent{}, false, nil
 		}
 		zv := make([]model.Value, m)
 		for i := range zv {
 			zv[i] = o.vals[i].v
 		}
 		t := p.assemble(zv)
-		if !withCheck || p.check(t) {
-			out = append(out, Candidate{Tuple: t, Score: o.w})
-		}
-		// Expand the m single-attribute successors (Fig. 5 lines 10-15).
 		for i := 0; i < m; i++ {
 			next := o.pos[i] + 1
 			if next >= len(bufs[i]) {
@@ -108,6 +107,36 @@ func topkSearch(p *problem, k int, withCheck bool) ([]Candidate, error) {
 				q.Push(o2)
 				p.stats.Generated++
 			}
+		}
+		return checkEvent{t: t, score: o.w, pops: p.stats.Pops, generated: p.stats.Generated}, true, nil
+	}
+
+	if withCheck && p.parallelism() > 1 {
+		budget, ok := p.remainingBudget()
+		if !ok {
+			return nil, nil
+		}
+		oc := runStream(p.pool, p.parallelism(), budget, k,
+			checkEvent{pops: p.stats.Pops, generated: p.stats.Generated}, next)
+		p.stats.Checks += oc.checks
+		if oc.cut {
+			p.stats.Pops, p.stats.Generated = oc.pops, oc.generated
+		}
+		out := make([]Candidate, 0, len(oc.passes))
+		for _, ev := range oc.passes {
+			out = append(out, Candidate{Tuple: ev.t, Score: ev.score})
+		}
+		return out, nil
+	}
+
+	var out []Candidate
+	for len(out) < k && !p.exhausted() {
+		ev, ok, _ := next()
+		if !ok {
+			break
+		}
+		if !withCheck || p.check(ev.t) {
+			out = append(out, Candidate{Tuple: ev.t, Score: ev.score})
 		}
 	}
 	return out, nil
@@ -179,9 +208,21 @@ func (p *problem) score(t *model.Tuple) float64 {
 // attribute takes the first value (t's own value first, then the ranked
 // list) whose partial template passes the chase check. The final step
 // checks the complete tuple, so success implies candidacy.
+//
+// With Parallel > 1 the per-attribute value probes are verified
+// speculatively in batches: the chosen value — the first passing one in
+// sequence order — and the check count are identical to the sequential
+// run.
 func (p *problem) repair(t *model.Tuple) (*model.Tuple, bool) {
 	partial := p.te.Clone()
+	par := p.parallelism()
 	for i, a := range p.zAttr {
+		if par > 1 {
+			if !p.repairAttrParallel(partial, t, i, a, par) {
+				return nil, false
+			}
+			continue
+		}
 		fixed := false
 		tryValue := func(v model.Value) bool {
 			partial.SetAt(a, v)
@@ -208,4 +249,40 @@ func (p *problem) repair(t *model.Tuple) (*model.Tuple, bool) {
 		}
 	}
 	return partial, true
+}
+
+// repairAttrParallel fixes attribute a of partial by probing the value
+// sequence (t's own value first, then the ranked list) through the
+// speculative stream driver, stopping at the first pass.
+func (p *problem) repairAttrParallel(partial, t *model.Tuple, i, a, par int) bool {
+	own := t.At(a)
+	li := -1 // -1 = own value, then ranked-list positions
+	next := func() (checkEvent, bool, error) {
+		for {
+			var v model.Value
+			if li < 0 {
+				v = own
+				li = 0
+			} else {
+				if li >= len(p.lists[i]) {
+					return checkEvent{}, false, nil
+				}
+				v = p.lists[i][li].v
+				li++
+				if v.Equal(own) {
+					continue // sequential order probes the own value only once
+				}
+			}
+			cand := partial.Clone()
+			cand.SetAt(a, v)
+			return checkEvent{t: cand}, true, nil
+		}
+	}
+	oc := runStream(p.pool, par, 0, 1, checkEvent{}, next)
+	p.stats.Checks += oc.checks
+	if len(oc.passes) == 0 {
+		return false
+	}
+	partial.SetAt(a, oc.passes[0].t.At(a))
+	return true
 }
