@@ -4,10 +4,18 @@
 //	relacc topk   -data instance.csv [-master master.csv] -rules rules.txt -k 10 [-algo topkct|rankjoin|topkcth] [-par N]
 //	relacc check  -data instance.csv [-master master.csv] -rules rules.txt -candidate cand.csv
 //	relacc rules  -rules rules.txt -data instance.csv [-master master.csv]
+//	relacc batch  -data relation.csv [-master master.csv] -rules rules.txt [-by id | -key a,b] [-workers N] [-topk K] [-algo ...] [-o fused.csv]
 //
-// The instance CSV holds the tuples of ONE entity (header = attribute
-// names); the optional master CSV holds master data; the rule file uses
-// the textual rule language (see internal/ruledsl):
+// deduce/topk/check operate on the tuples of ONE entity; batch takes a
+// whole relation of many entities, groups it into entity instances —
+// by exact match on an identifier column (-by) or by similarity-based
+// entity resolution on key attributes (-key) — and runs the deduce →
+// top-k pipeline over all of them on a worker pool, printing one
+// verdict per entity plus a summary. -o writes the settled targets
+// (deduced complete, or filled from the best candidate) as CSV.
+//
+// The optional master CSV holds master data; the rule file uses the
+// textual rule language (see internal/ruledsl):
 //
 //	phi1: t1[league] = t2[league] , t1[rnds] < t2[rnds] -> t1 <= t2 @ rnds
 //	phi6: master te[FN] = tm[FN] , tm[season] = "1994-95" -> te[league] = tm[league]
@@ -17,10 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/csvio"
+	"repro/internal/er"
 	"repro/internal/model"
+	"repro/internal/pipeline"
 	"repro/internal/rule"
 )
 
@@ -38,12 +49,41 @@ func main() {
 	algo := fs.String("algo", "topkct", "top-k algorithm: topkct, rankjoin or topkcth")
 	par := fs.Int("par", -1, "concurrent candidate checks (1 = sequential, -1 = GOMAXPROCS)")
 	candPath := fs.String("candidate", "", "candidate tuple CSV (check)")
+	by := fs.String("by", "", "batch: group entities by exact match on this column")
+	key := fs.String("key", "", "batch: comma-separated key attributes for similarity-based grouping")
+	threshold := fs.Float64("threshold", 0, "batch: similarity threshold for -key grouping (0 = 0.85)")
+	workers := fs.Int("workers", 0, "batch: concurrent entities (0 = GOMAXPROCS)")
+	topK := fs.Int("topk", 0, "batch: candidates per incomplete entity (0 = deduce only)")
+	outPath := fs.String("o", "", "batch: write settled targets to this CSV")
+	verbose := fs.Bool("v", false, "batch: print every entity (default: only unsettled ones)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
 	switch cmd {
 	case "deduce", "topk", "check", "rules":
+		// All flags parse on one shared FlagSet; reject the other
+		// mode's flags loudly instead of silently ignoring them.
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "by", "key", "threshold", "workers", "topk", "o", "v":
+				fatal(fmt.Errorf("flag -%s applies to batch; %s uses -k and -par", f.Name, cmd))
+			}
+		})
+	case "batch":
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "k", "par", "candidate":
+				fatal(fmt.Errorf("flag -%s applies to the single-entity modes; batch uses -topk and -workers", f.Name))
+			}
+		})
+		runBatch(batchArgs{
+			data: *dataPath, master: *masterPath, rules: *rulesPath,
+			by: *by, key: *key, threshold: *threshold,
+			workers: *workers, topK: *topK, algo: *algo,
+			out: *outPath, verbose: *verbose,
+		})
+		return
 	default:
 		usage()
 		os.Exit(2)
@@ -71,16 +111,9 @@ func main() {
 		fmt.Println("specification is Church-Rosser")
 		printTarget(ie.Schema(), res.Target)
 	case "topk":
-		var a core.Algorithm
-		switch *algo {
-		case "topkct":
-			a = core.AlgoTopKCT
-		case "rankjoin":
-			a = core.AlgoRankJoinCT
-		case "topkcth":
-			a = core.AlgoTopKCTh
-		default:
-			fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		a, err := parseAlgo(*algo)
+		if err != nil {
+			fatal(err)
 		}
 		res := sess.Deduce()
 		if !res.CR {
@@ -138,27 +171,7 @@ func load(dataPath, masterPath, rulesPath string) (*core.Session, *model.EntityI
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	var im *model.MasterRelation
-	if masterPath != "" {
-		mf, err := os.Open(masterPath)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		defer mf.Close()
-		im, err = csvio.ReadMaster(mf, "master")
-		if err != nil {
-			return nil, nil, nil, err
-		}
-	}
-	text, err := os.ReadFile(rulesPath)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	var ms *model.Schema
-	if im != nil {
-		ms = im.Schema()
-	}
-	rules, err := core.ParseRules(string(text), ie.Schema(), ms)
+	im, rules, err := loadMasterAndRules(masterPath, rulesPath, ie.Schema())
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -167,6 +180,154 @@ func load(dataPath, masterPath, rulesPath string) (*core.Session, *model.EntityI
 		return nil, nil, nil, err
 	}
 	return sess, ie, rules, nil
+}
+
+// loadMasterAndRules loads the optional master CSV and parses the rule
+// file against the given entity schema; shared by the single-entity
+// modes and batch.
+func loadMasterAndRules(masterPath, rulesPath string, entity *model.Schema) (*model.MasterRelation, *rule.Set, error) {
+	var im *model.MasterRelation
+	if masterPath != "" {
+		mf, err := os.Open(masterPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer mf.Close()
+		im, err = csvio.ReadMaster(mf, "master")
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	text, err := os.ReadFile(rulesPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ms *model.Schema
+	if im != nil {
+		ms = im.Schema()
+	}
+	rules, err := core.ParseRules(string(text), entity, ms)
+	if err != nil {
+		return nil, nil, err
+	}
+	return im, rules, nil
+}
+
+type batchArgs struct {
+	data, master, rules string
+	by, key             string
+	threshold           float64
+	workers, topK       int
+	algo                string
+	out                 string
+	verbose             bool
+}
+
+// runBatch is the multi-entity pipeline front end: relation CSV in,
+// per-entity verdicts and a summary out.
+func runBatch(a batchArgs) {
+	if a.data == "" || a.rules == "" {
+		fmt.Fprintln(os.Stderr, "relacc: -data and -rules are required")
+		os.Exit(2)
+	}
+	if (a.by == "") == (a.key == "") {
+		fmt.Fprintln(os.Stderr, "relacc: batch needs exactly one of -by (identifier column) or -key (ER key attributes)")
+		os.Exit(2)
+	}
+	alg, err := parseAlgo(a.algo)
+	if err != nil {
+		fatal(err)
+	}
+
+	schema, tuples, err := csvio.ReadRelationFile(a.data)
+	if err != nil {
+		fatal(err)
+	}
+	im, rules, err := loadMasterAndRules(a.master, a.rules, schema)
+	if err != nil {
+		fatal(err)
+	}
+
+	var entities []*model.EntityInstance
+	if a.by != "" {
+		entities, err = er.GroupBy(tuples, schema, a.by)
+	} else {
+		entities, err = er.Resolve(tuples, schema, er.Config{
+			KeyAttrs:  strings.Split(a.key, ","),
+			Threshold: a.threshold,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d tuples grouped into %d entities\n", len(tuples), len(entities))
+
+	var settled []*model.Tuple
+	sum, err := pipeline.Stream(entities, pipeline.Config{
+		Master:  im,
+		Rules:   rules,
+		Workers: a.workers,
+		TopK:    a.topK,
+		Algo:    alg,
+	}, func(r pipeline.Result) error {
+		status := r.Status()
+		var target *model.Tuple
+		switch status {
+		case "complete":
+			target = r.Deduction.Target
+		case "candidates":
+			target = r.Candidates[0].Tuple
+		}
+		if target != nil {
+			settled = append(settled, target)
+		}
+		if a.verbose || target == nil {
+			line := fmt.Sprintf("entity %4d  [%d tuples]  %-17s", r.Index, r.Instance.Size(), status)
+			switch {
+			case r.Err != nil:
+				line += " " + r.Err.Error()
+			case status == "not-church-rosser":
+				line += " " + r.Deduction.Conflict
+			case target != nil:
+				line += " " + target.String()
+			default:
+				line += " " + r.Deduction.Target.String()
+			}
+			fmt.Println(line)
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(sum.String())
+
+	if a.out != "" {
+		f, err := os.Create(a.out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := csvio.WriteRelation(f, schema, settled); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d settled targets to %s\n", len(settled), a.out)
+	}
+}
+
+func parseAlgo(name string) (core.Algorithm, error) {
+	switch name {
+	case "topkct":
+		return core.AlgoTopKCT, nil
+	case "rankjoin":
+		return core.AlgoRankJoinCT, nil
+	case "topkcth":
+		return core.AlgoTopKCTh, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
 func printTarget(schema *model.Schema, t *model.Tuple) {
@@ -181,7 +342,10 @@ func printTarget(schema *model.Schema, t *model.Tuple) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: relacc <deduce|topk|check|rules> -data instance.csv -rules rules.txt [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: relacc <deduce|topk|check|rules|batch> -data data.csv -rules rules.txt [flags]
+  deduce/topk/check/rules operate on one entity's tuples;
+  batch groups a multi-entity relation (-by col | -key a,b) and runs the
+  pipeline over it (-workers N -topk K -algo topkct|rankjoin|topkcth -o out.csv)`)
 }
 
 func fatal(err error) {

@@ -9,11 +9,16 @@
 // attribute — without knowing the true values — by chasing declarative
 // accuracy rules and optional master data, and it searches top-k
 // candidate target tuples when deduction alone cannot complete the
-// answer.
+// answer. Beyond the paper's per-entity setting, the batch pipeline
+// runs the deduce → top-k loop over whole relations of many entities on
+// a worker pool.
 //
-// Start at internal/core for the library API, cmd/relacc for the CLI,
-// cmd/experiments for the reproduction of the paper's evaluation, and
-// the examples/ directory for runnable walkthroughs. DESIGN.md maps
-// every subsystem and experiment; EXPERIMENTS.md records measured
+// Start at package relacc, the public API: per-entity Sessions
+// (relacc.NewSession), multi-entity batches (relacc.Run), CSV loading
+// and entity grouping. cmd/relacc is the CLI (single-entity deduce /
+// topk / check plus a multi-entity batch mode), cmd/experiments
+// reproduces the paper's evaluation, and the examples/ directory holds
+// runnable walkthroughs. DESIGN.md maps every subsystem, the data flow
+// and the concurrency invariants; EXPERIMENTS.md records measured
 // results against the paper's.
 package repro

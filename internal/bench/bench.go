@@ -5,7 +5,11 @@
 // measured values next to the paper's.
 //
 // Scale is configurable so the full suite can run as unit tests at
-// reduced size; Default() matches the paper's dataset sizes.
+// reduced size; Default() matches the paper's dataset sizes. The
+// per-entity loops run through package pipeline — the same sharded
+// scheduler the production batch path uses — either as full
+// deduce → top-k batches (runPipeline) or as raw index loops
+// (parEach over pipeline.Each).
 package bench
 
 import (
@@ -15,6 +19,8 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/pipeline"
 	"repro/internal/topk"
 )
 
@@ -204,6 +210,37 @@ func (s *Suite) rest() *gen.RestDataset {
 // groundEntity is the common per-entity grounding helper.
 func groundEntity(ds *gen.Dataset, e gen.Entity) (*chase.Grounding, error) {
 	return chase.NewGrounding(chase.Spec{Ie: e.Instance, Im: ds.Master, Rules: ds.Rules}, chase.Options{})
+}
+
+// instances extracts the entity instances of a slice of generated
+// entities, aligned by index, for the batch pipeline.
+func instances(entities []gen.Entity) []*model.EntityInstance {
+	out := make([]*model.EntityInstance, len(entities))
+	for i, e := range entities {
+		out[i] = e.Instance
+	}
+	return out
+}
+
+// runPipeline fans a dataset's entities through the batch pipeline on
+// the suite's worker count and surfaces the first per-entity error (the
+// experiments generate clean specifications, so any error is a bug).
+func runPipeline(s *Suite, ds *gen.Dataset, entities []gen.Entity, cfg pipeline.Config) ([]pipeline.Result, pipeline.Summary, error) {
+	cfg.Master = ds.Master
+	cfg.Rules = ds.Rules
+	if cfg.Workers == 0 {
+		cfg.Workers = s.workers()
+	}
+	results, sum, err := pipeline.Run(instances(entities), cfg)
+	if err != nil {
+		return nil, sum, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, sum, r.Err
+		}
+	}
+	return results, sum, nil
 }
 
 // foundInTopK reports whether the entity's truth is recoverable at k:

@@ -4,12 +4,15 @@ import (
 	"fmt"
 
 	"repro/internal/gen"
+	"repro/internal/pipeline"
 	"repro/internal/rule"
 	"repro/internal/stats"
 )
 
 // Fig6a measures the percentage of entities for which IsCR deduces a
 // complete target tuple automatically (Exp-1; paper: Med 66%, CFP 72%).
+// It runs each dataset through the batch pipeline — deduction only —
+// and reads the answer off the summary.
 func (s *Suite) Fig6a() (*Report, error) {
 	rep := &Report{
 		ID:     "Fig6a",
@@ -17,22 +20,11 @@ func (s *Suite) Fig6a() (*Report, error) {
 		Header: []string{"dataset", "complete targets"},
 	}
 	for _, ds := range []*gen.Dataset{s.med(), s.cfp()} {
-		found := make([]bool, len(ds.Entities))
-		if err := s.parEach(len(ds.Entities), func(i int) error {
-			g, err := groundEntity(ds, ds.Entities[i])
-			if err != nil {
-				return err
-			}
-			res := g.Run(nil)
-			found[i] = res.CR && res.Target.Complete()
-			return nil
-		}); err != nil {
+		_, sum, err := runPipeline(s, ds, ds.Entities, pipeline.Config{})
+		if err != nil {
 			return nil, err
 		}
-		var c stats.Counter
-		for _, f := range found {
-			c.Add(f)
-		}
+		c := stats.Counter{Hits: sum.Complete, Trials: sum.Entities}
 		rep.Rows = append(rep.Rows, []string{ds.Name, c.Percent()})
 	}
 	rep.Notes = append(rep.Notes, "paper: Med 66%, CFP 72%")
@@ -125,34 +117,24 @@ func (s *Suite) Exp1Accuracy() (*Report, error) {
 		Header: []string{"dataset", "deduced attrs correct"},
 	}
 	for _, ds := range []*gen.Dataset{s.med(), s.cfp()} {
-		type acc struct{ hits, trials int }
-		per := make([]acc, len(ds.Entities))
-		if err := s.parEach(len(ds.Entities), func(i int) error {
-			e := ds.Entities[i]
-			g, err := groundEntity(ds, e)
-			if err != nil {
-				return err
-			}
-			res := g.Run(nil)
-			if !res.CR {
-				return nil
-			}
-			for a := 0; a < ds.Schema.Arity(); a++ {
-				if v := res.Target.At(a); !v.IsNull() {
-					per[i].trials++
-					if v.Equal(e.Truth.At(a)) {
-						per[i].hits++
-					}
-				}
-			}
-			return nil
-		}); err != nil {
+		results, _, err := runPipeline(s, ds, ds.Entities, pipeline.Config{})
+		if err != nil {
 			return nil, err
 		}
 		var c stats.Counter
-		for _, p := range per {
-			c.Hits += p.hits
-			c.Trials += p.trials
+		for i, r := range results {
+			if !r.Deduction.CR {
+				continue
+			}
+			truth := ds.Entities[i].Truth
+			for a := 0; a < ds.Schema.Arity(); a++ {
+				if v := r.Deduction.Target.At(a); !v.IsNull() {
+					c.Trials++
+					if v.Equal(truth.At(a)) {
+						c.Hits++
+					}
+				}
+			}
 		}
 		rep.Rows = append(rep.Rows, []string{ds.Name, fmt.Sprintf("%.1f%%", 100*c.Rate())})
 	}

@@ -2,8 +2,8 @@ package bench
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/pipeline"
 )
 
 // workers resolves the configured worker count: Config.Workers when
@@ -29,48 +29,18 @@ func (s *Suite) timingWorkers() int {
 }
 
 // parEach runs f(i) for every i in [0, n) across the suite's worker
-// count. Iterations must be independent; results are communicated
-// through index-addressed slices captured by f, which keeps report rows
-// deterministic regardless of scheduling. The lowest-index error is
-// returned, matching what a sequential loop would have reported.
+// count; it delegates to pipeline.Each, the sharded loop underneath the
+// batch pipeline, so the experiment drivers and production batches
+// exercise the same scheduler. Iterations must be independent; results
+// are communicated through index-addressed slices captured by f, which
+// keeps report rows deterministic regardless of scheduling. The
+// lowest-index error is returned, matching what a sequential loop would
+// have reported.
 func (s *Suite) parEach(n int, f func(i int) error) error {
-	return parEachN(s.workers(), n, f)
+	return pipeline.Each(s.workers(), n, f)
 }
 
 // parEachN is parEach with an explicit worker count.
 func parEachN(w, n int, f func(i int) error) error {
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				errs[i] = f(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return pipeline.Each(w, n, f)
 }

@@ -279,39 +279,19 @@ type Grounding struct {
 }
 
 // NewGrounding validates the rules, performs Instantiation and chases
-// all template-independent consequences into a base state.
+// all template-independent consequences into a base state. Callers that
+// ground many instances of one schema should build a Shared once and
+// use Shared.NewGrounding instead, which skips the per-entity
+// validation and form-(2) compilation this constructor performs.
 func NewGrounding(spec Spec, opts Options) (*Grounding, error) {
 	if spec.Ie == nil {
 		return nil, fmt.Errorf("chase: specification has no entity instance")
 	}
-	var rm *model.Schema
-	if spec.Im != nil {
-		rm = spec.Im.Schema()
+	sh, err := NewShared(spec.Ie.Schema(), spec.Im, spec.Rules)
+	if err != nil {
+		return nil, err
 	}
-	for _, r := range spec.Rules.Rules() {
-		if err := r.Validate(spec.Ie.Schema(), rm); err != nil {
-			return nil, err
-		}
-	}
-	g := &Grounding{
-		ie:        spec.Ie,
-		im:        spec.Im,
-		rules:     spec.Rules,
-		schema:    spec.Ie.Schema(),
-		n:         spec.Ie.Size(),
-		nattr:     spec.Ie.Schema().Arity(),
-		useAxioms: !opts.DisableAxioms,
-		orderTrig: make(map[uint64][]predRef),
-	}
-	if spec.Im != nil {
-		g.form2 = form2IndexFor(g.schema, spec.Im, spec.Rules)
-	} else {
-		g.form2 = &form2Index{}
-	}
-	g.indexValues()
-	zeroPairs := g.ground()
-	g.baseChase(zeroPairs)
-	return g, nil
+	return sh.NewGrounding(spec.Ie, opts)
 }
 
 // Instance returns the entity instance the grounding was built for.

@@ -1,7 +1,8 @@
-// Package core is the library's front door: it ties the data model, the
-// accuracy-rule chase (Sections 2 and 5 of the paper), the top-k
-// candidate search (Section 6) and the interactive framework
-// (Section 4) into one session-oriented API.
+// Package core ties the data model, the accuracy-rule chase (Sections 2
+// and 5 of the paper), the top-k candidate search (Section 6) and the
+// interactive framework (Section 4) into one session-oriented,
+// per-entity API. The public package relacc re-exports it (and the
+// multi-entity batch pipeline, package pipeline) for external callers.
 //
 // Typical use:
 //

@@ -4,9 +4,16 @@
 // model.Parse — "null" and the empty string are null, numerals are
 // numeric, true/false boolean, everything else string. Writing uses
 // quoted strings only when CSV requires it.
+//
+// RelationReader reads tuples incrementally — one Read call per row,
+// with per-row arity errors that name the offending row and allow
+// reading to continue; ReadRelation and friends are convenience
+// wrappers that drain it. A UTF-8 byte-order mark at the start of the
+// input is stripped (spreadsheet exports routinely prepend one).
 package csvio
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -15,33 +22,90 @@ import (
 	"repro/internal/model"
 )
 
-// ReadRelation parses CSV into a schema (named name) and its tuples.
-func ReadRelation(r io.Reader, name string) (*model.Schema, []*model.Tuple, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	rows, err := cr.ReadAll()
+// RelationReader streams a CSV relation: the header row is consumed at
+// construction (fixing the schema), Read returns one tuple per call.
+type RelationReader struct {
+	cr     *csv.Reader
+	schema *model.Schema
+	row    int // 1-based row number of the last record read
+}
+
+// NewRelationReader reads the header row and fixes the relation schema
+// (named name). An empty input is an error; a leading UTF-8 BOM is
+// stripped.
+func NewRelationReader(r io.Reader, name string) (*RelationReader, error) {
+	br := bufio.NewReader(r)
+	if lead, err := br.Peek(3); err == nil && string(lead) == "\xef\xbb\xbf" {
+		br.Discard(3)
+	}
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = -1 // arity checked per row, with row numbers
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("csvio: empty input")
+	}
 	if err != nil {
-		return nil, nil, fmt.Errorf("csvio: %w", err)
+		return nil, fmt.Errorf("csvio: %w", err)
 	}
-	if len(rows) == 0 {
-		return nil, nil, fmt.Errorf("csvio: empty input")
-	}
-	schema, err := model.NewSchema(name, rows[0]...)
+	schema, err := model.NewSchema(name, header...)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	return &RelationReader{cr: cr, schema: schema, row: 1}, nil
+}
+
+// Schema returns the relation schema read from the header row.
+func (rr *RelationReader) Schema() *model.Schema { return rr.schema }
+
+// Read returns the next tuple, or io.EOF after the last row. A row
+// whose field count differs from the header's arity is an error naming
+// the 1-based row number; reading may continue past it.
+func (rr *RelationReader) Read() (*model.Tuple, error) {
+	record, err := rr.cr.Read()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	rr.row++
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	if len(record) != rr.schema.Arity() {
+		return nil, fmt.Errorf("csvio: row %d has %d fields, want %d", rr.row, len(record), rr.schema.Arity())
+	}
+	t := model.NewTuple(rr.schema)
+	for j, cell := range record {
+		t.SetAt(j, model.Parse(cell))
+	}
+	return t, nil
+}
+
+// ReadAll drains the reader, returning every remaining tuple; it stops
+// at the first malformed row.
+func (rr *RelationReader) ReadAll() ([]*model.Tuple, error) {
 	var tuples []*model.Tuple
-	for i, row := range rows[1:] {
-		if len(row) != schema.Arity() {
-			return nil, nil, fmt.Errorf("csvio: row %d has %d fields, want %d", i+2, len(row), schema.Arity())
+	for {
+		t, err := rr.Read()
+		if err == io.EOF {
+			return tuples, nil
 		}
-		t := model.NewTuple(schema)
-		for j, cell := range row {
-			t.SetAt(j, model.Parse(cell))
+		if err != nil {
+			return tuples, err
 		}
 		tuples = append(tuples, t)
 	}
-	return schema, tuples, nil
+}
+
+// ReadRelation parses CSV into a schema (named name) and its tuples.
+func ReadRelation(r io.Reader, name string) (*model.Schema, []*model.Tuple, error) {
+	rr, err := NewRelationReader(r, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	tuples, err := rr.ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rr.Schema(), tuples, nil
 }
 
 // ReadRelationFile is ReadRelation over a file path; the relation is

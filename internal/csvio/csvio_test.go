@@ -2,6 +2,8 @@ package csvio_test
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -72,6 +74,97 @@ func TestRoundTrip(t *testing.T) {
 		if !tuples[i].EqualTo(tuples2[i]) {
 			t.Errorf("tuple %d changed: %v vs %v", i, tuples[i], tuples2[i])
 		}
+	}
+}
+
+func TestStreamingReader(t *testing.T) {
+	rr, err := csvio.NewRelationReader(strings.NewReader(sample), "stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Schema().Arity() != 4 {
+		t.Fatalf("arity = %d", rr.Schema().Arity())
+	}
+	var n int
+	for {
+		tu, err := rr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tu.Schema() != rr.Schema() {
+			t.Fatal("tuple uses a different schema instance")
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("streamed %d tuples, want 3", n)
+	}
+}
+
+func TestStreamingRaggedRowNamesRow(t *testing.T) {
+	rr, err := csvio.NewRelationReader(strings.NewReader("a,b\n1,2\n3\n4,5\n"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr.Read(); err != nil {
+		t.Fatalf("row 2: %v", err)
+	}
+	_, err = rr.Read()
+	if err == nil || !strings.Contains(err.Error(), "row 3") {
+		t.Fatalf("ragged row error should name row 3, got %v", err)
+	}
+	// Reading may continue past the malformed row.
+	tu, err := rr.Read()
+	if err != nil {
+		t.Fatalf("row 4 after ragged row: %v", err)
+	}
+	if v, _ := tu.Get("b"); !v.Equal(model.I(5)) {
+		t.Fatalf("row 4 = %v", tu)
+	}
+}
+
+func TestBOMStripped(t *testing.T) {
+	schema, tuples, err := csvio.ReadRelation(strings.NewReader("\xef\xbb\xbfa,b\n1,2\n"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Attr(0) != "a" {
+		t.Fatalf("BOM leaked into first attribute: %q", schema.Attr(0))
+	}
+	if len(tuples) != 1 {
+		t.Fatalf("%d tuples", len(tuples))
+	}
+}
+
+func TestQuotedCommasAndQuotes(t *testing.T) {
+	in := "name,notes\n\"Jordan, Michael\",\"said \"\"hi, there\"\"\"\n"
+	schema, tuples, err := csvio.ReadRelation(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tuples[0].Get("name"); v.String() != "Jordan, Michael" {
+		t.Fatalf("name = %q", v.String())
+	}
+	if v, _ := tuples[0].Get("notes"); v.String() != `said "hi, there"` {
+		t.Fatalf("notes = %q", v.String())
+	}
+	var buf bytes.Buffer
+	if err := csvio.WriteRelation(&buf, schema, tuples); err != nil {
+		t.Fatal(err)
+	}
+	_, tuples2, err := csvio.ReadRelation(bytes.NewReader(buf.Bytes()), "x")
+	if err != nil || !tuples2[0].EqualTo(tuples[0]) {
+		t.Fatalf("quoted round trip: %v %v", err, tuples2)
+	}
+}
+
+func TestHeaderOnlyRelationIsEmpty(t *testing.T) {
+	schema, tuples, err := csvio.ReadRelation(strings.NewReader("a,b\n"), "x")
+	if err != nil || schema.Arity() != 2 || len(tuples) != 0 {
+		t.Fatalf("header-only: %v %d attrs %d tuples", err, schema.Arity(), len(tuples))
 	}
 }
 

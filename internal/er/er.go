@@ -206,6 +206,39 @@ func Resolve(tuples []*model.Tuple, s *model.Schema, cfg Config) ([]*model.Entit
 	return out, nil
 }
 
+// GroupBy partitions the tuples of a relation into entity instances by
+// exact equality on one attribute — the degenerate but common case where
+// the data already carries a trustworthy entity identifier, so no
+// similarity-based resolution is needed. Null-keyed tuples form one
+// group per tuple (an unidentified tuple is its own entity). Instances
+// preserve input order, like Resolve.
+func GroupBy(tuples []*model.Tuple, s *model.Schema, attr string) ([]*model.EntityInstance, error) {
+	i := s.Index(attr)
+	if i < 0 {
+		return nil, &UnknownAttrError{Attr: attr}
+	}
+	byKey := map[string]*model.EntityInstance{}
+	var out []*model.EntityInstance
+	for _, t := range tuples {
+		v := t.At(i)
+		if v.IsNull() {
+			ie := model.NewEntityInstance(s)
+			ie.MustAdd(t)
+			out = append(out, ie)
+			continue
+		}
+		k := v.Key()
+		ie, ok := byKey[k]
+		if !ok {
+			ie = model.NewEntityInstance(s)
+			byKey[k] = ie
+			out = append(out, ie)
+		}
+		ie.MustAdd(t)
+	}
+	return out, nil
+}
+
 // similar averages the per-key similarities; a pair of nulls in a key
 // contributes nothing, a null against a value contributes 0.5 (unknown).
 func similar(t1, t2 *model.Tuple, keyIdx []int, cfg Config) bool {

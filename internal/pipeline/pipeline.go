@@ -1,0 +1,361 @@
+// Package pipeline runs the paper's per-entity deduce → top-k loop over
+// a whole relation of entities at once: the multi-entity workload every
+// realistic deployment has, where core.Session is the single-entity
+// kernel. Entities are sharded across a worker pool; each worker reuses
+// the instance-independent groundwork (validated rules, compiled
+// form-(2) index — chase.Shared) that all entities of one schema have in
+// common, grounds its entity, deduces the target (IsCR, Fig. 4) and,
+// when the target stays incomplete, searches top-k candidate targets
+// (Section 6) on pooled allocation-free checkers.
+//
+// Results stream to the caller in entity order regardless of worker
+// scheduling, and every per-entity field is byte-identical to what a
+// sequential core.Session run over the same entity produces — the
+// equivalence is enforced by pipeline_test.go under -race. A failing
+// entity (grounding error, candidate-search error) reports through its
+// Result.Err and never aborts the batch; Summary tallies outcomes and
+// aggregate accuracy/coverage statistics across the relation.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chase"
+	"repro/internal/framework"
+	"repro/internal/model"
+	"repro/internal/rule"
+	"repro/internal/topk"
+)
+
+// Algorithm selects a top-k candidate algorithm (re-exported from
+// package framework so pipeline callers need not import it).
+type Algorithm = framework.Algorithm
+
+// Top-k algorithm choices.
+const (
+	AlgoTopKCT     = framework.AlgoTopKCT
+	AlgoRankJoinCT = framework.AlgoRankJoinCT
+	AlgoTopKCTh    = framework.AlgoTopKCTh
+)
+
+// Config tunes one batch run. The zero value deduces only (no candidate
+// search) on GOMAXPROCS workers.
+type Config struct {
+	// Master is the optional master relation Im shared by all entities.
+	Master *model.MasterRelation
+	// Rules is the accuracy rule set Σ shared by all entities.
+	Rules *rule.Set
+	// Workers bounds how many entities are processed concurrently;
+	// <= 0 means GOMAXPROCS. Per-entity output does not depend on it.
+	Workers int
+	// TopK requests a top-k candidate search for every entity whose
+	// deduced target is incomplete; 0 disables candidate search.
+	// It overrides Pref.K.
+	TopK int
+	// Algo selects the candidate algorithm (default AlgoTopKCT).
+	Algo Algorithm
+	// Pref refines the preference model (weights, domains, check
+	// budget). Pref.Parallel is ignored: the pipeline parallelises
+	// across entities, not within one entity's search.
+	Pref topk.Preference
+	// Options configures the chase (e.g. DisableAxioms for bare-rule
+	// semantics).
+	Options chase.Options
+}
+
+func (cfg *Config) workers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is the outcome for one entity, in input order.
+type Result struct {
+	// Index is the entity's position in the input slice.
+	Index int
+	// Instance is the entity instance the result describes.
+	Instance *model.EntityInstance
+	// Err reports a per-entity failure; the batch continues with the
+	// other entities. On a grounding error Deduction is nil; on a
+	// candidate-search error Deduction still carries the (incomplete)
+	// deduction outcome the search started from. Candidates and Stats
+	// are always zero when Err is set.
+	Err error
+	// Deduction is the chase outcome: Church-Rosser verdict, deduced
+	// target and terminal accuracy orders.
+	Deduction *chase.Result
+	// Candidates holds the top-k candidate targets when the deduced
+	// target was incomplete and Config.TopK > 0.
+	Candidates []topk.Candidate
+	// Stats reports the candidate-search work (zero when no search ran).
+	Stats topk.Stats
+}
+
+// Status classifies the result for reporting.
+func (r *Result) Status() string {
+	switch {
+	case r.Err != nil:
+		return "error"
+	case !r.Deduction.CR:
+		return "not-church-rosser"
+	case r.Deduction.Target.Complete():
+		return "complete"
+	case len(r.Candidates) > 0:
+		return "candidates"
+	default:
+		return "incomplete"
+	}
+}
+
+// Summary aggregates a batch: outcome counts plus accuracy/coverage
+// statistics over the whole relation.
+type Summary struct {
+	// Entities is the number of entities processed.
+	Entities int
+	// Errors counts entities that failed with Result.Err.
+	Errors int
+	// NotCR counts entities whose specification was not Church-Rosser.
+	NotCR int
+	// Complete counts entities whose target was deduced completely.
+	Complete int
+	// WithCandidates counts incomplete entities for which the top-k
+	// search returned at least one verified candidate.
+	WithCandidates int
+	// Incomplete counts entities left incomplete with no candidates
+	// (search disabled, exhausted or fruitless).
+	Incomplete int
+	// AttrsDeduced / AttrsTotal measure attribute coverage: non-null
+	// target attributes over all attributes of Church-Rosser entities.
+	AttrsDeduced int
+	AttrsTotal   int
+	// Checks sums the chase-based candidate checks spent by the top-k
+	// searches.
+	Checks int
+	// Elapsed is the wall-clock time of the batch.
+	Elapsed time.Duration
+}
+
+// Coverage is AttrsDeduced/AttrsTotal, the fraction of attributes the
+// chase decided across the relation (0 when nothing was processed).
+func (s *Summary) Coverage() float64 {
+	if s.AttrsTotal == 0 {
+		return 0
+	}
+	return float64(s.AttrsDeduced) / float64(s.AttrsTotal)
+}
+
+// String renders a one-paragraph report.
+func (s *Summary) String() string {
+	return fmt.Sprintf(
+		"%d entities in %s: %d complete, %d with candidates, %d incomplete, %d not-CR, %d errors; attribute coverage %d/%d (%.0f%%), %d candidate checks",
+		s.Entities, s.Elapsed.Round(time.Millisecond), s.Complete, s.WithCandidates,
+		s.Incomplete, s.NotCR, s.Errors, s.AttrsDeduced, s.AttrsTotal, 100*s.Coverage(), s.Checks)
+}
+
+func (s *Summary) add(r *Result, arity int) {
+	s.Entities++
+	switch {
+	case r.Err != nil:
+		s.Errors++
+		return
+	case !r.Deduction.CR:
+		s.NotCR++
+		return
+	}
+	s.AttrsTotal += arity
+	s.AttrsDeduced += arity - len(r.Deduction.Target.NullAttrs())
+	s.Checks += r.Stats.Checks
+	switch {
+	case r.Deduction.Target.Complete():
+		s.Complete++
+	case len(r.Candidates) > 0:
+		s.WithCandidates++
+	default:
+		s.Incomplete++
+	}
+}
+
+// Run processes every entity and returns the results in input order
+// plus the batch summary. All entities must share the first entity's
+// schema (pointer identity); rule validation happens once, up front.
+func Run(entities []*model.EntityInstance, cfg Config) ([]Result, Summary, error) {
+	results := make([]Result, 0, len(entities))
+	sum, err := Stream(entities, cfg, func(r Result) error {
+		results = append(results, r)
+		return nil
+	})
+	return results, sum, err
+}
+
+// Stream is Run with a sink: per-entity results are delivered to sink
+// in input order as soon as they (and all their predecessors) finish,
+// so a caller can report progress or persist verdicts while later
+// entities are still being checked. sink runs on the calling goroutine;
+// returning an error stops the batch early and is returned from Stream.
+func Stream(entities []*model.EntityInstance, cfg Config, sink func(Result) error) (Summary, error) {
+	start := time.Now()
+	var sum Summary
+	if len(entities) == 0 {
+		sum.Elapsed = time.Since(start)
+		return sum, nil
+	}
+	schema := entities[0].Schema()
+	for i, ie := range entities {
+		if ie.Schema() != schema {
+			return sum, fmt.Errorf("pipeline: entity %d uses schema %s, batch uses %s",
+				i, ie.Schema().Name(), schema.Name())
+		}
+	}
+	shared, err := chase.NewShared(schema, cfg.Master, cfg.Rules)
+	if err != nil {
+		return sum, err
+	}
+
+	n := len(entities)
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+	results := make([]Result, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	// Backpressure: workers must hold a token to claim an entity, and
+	// the delivery loop returns one per delivered result, so at most
+	// `window` results ever sit completed-but-undelivered. Without
+	// this, one slow early entity would let the other workers race
+	// ahead and buffer the whole batch in memory.
+	window := 2 * w
+	if window > n {
+		window = n
+	}
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := <-tokens; !ok {
+					return // closed: early stop
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i] = runEntity(i, entities[i], shared, &cfg)
+				close(done[i])
+			}
+		}()
+	}
+
+	var sinkErr error
+	for i := 0; i < n; i++ {
+		<-done[i]
+		r := results[i]
+		results[i] = Result{} // delivered; free it
+		sum.add(&r, schema.Arity())
+		if err := sink(r); err != nil {
+			sinkErr = err
+			break
+		}
+		tokens <- struct{}{}
+	}
+	// Retire the workers before returning; on early stop the in-flight
+	// entities finish but are not delivered.
+	close(tokens)
+	wg.Wait()
+	sum.Elapsed = time.Since(start)
+	return sum, sinkErr
+}
+
+// runEntity is the per-entity kernel: ground, deduce, search.
+func runEntity(i int, ie *model.EntityInstance, shared *chase.Shared, cfg *Config) Result {
+	out := Result{Index: i, Instance: ie}
+	g, err := shared.NewGrounding(ie, cfg.Options)
+	if err != nil {
+		out.Err = fmt.Errorf("pipeline: entity %d: %w", i, err)
+		return out
+	}
+	out.Deduction = g.Run(nil)
+	if !out.Deduction.CR || out.Deduction.Target.Complete() || cfg.TopK <= 0 {
+		return out
+	}
+	pref := cfg.Pref
+	pref.K = cfg.TopK
+	pref.Parallel = 0
+	var cands []topk.Candidate
+	var stats topk.Stats
+	switch cfg.Algo {
+	case AlgoRankJoinCT:
+		cands, stats, err = topk.RankJoinCT(g, out.Deduction.Target, pref)
+	case AlgoTopKCTh:
+		cands, stats, err = topk.TopKCTh(g, out.Deduction.Target, pref)
+	default:
+		cands, stats, err = topk.TopKCT(g, out.Deduction.Target, pref)
+	}
+	if err != nil {
+		out.Err = fmt.Errorf("pipeline: entity %d: %w", i, err)
+		return out
+	}
+	out.Candidates = cands
+	out.Stats = stats
+	return out
+}
+
+// Each runs f(i) for every i in [0, n) across w workers (w <= 0 means
+// GOMAXPROCS); it is the generic sharded loop underneath the pipeline,
+// exported for callers — the bench experiment drivers — whose per-entity
+// work does not fit the deduce → top-k shape. Iterations must be
+// independent; deterministic output is obtained by writing into
+// index-addressed slices captured by f. The lowest-index error is
+// returned, matching what a sequential loop would have reported.
+func Each(w, n int, f func(i int) error) error {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+// Package relacc is the public API of the repository: a Go
+// implementation of relative-accuracy deduction (Cao, Fan and Yu,
+// "Determining the Relative Accuracy of Attributes", SIGMOD 2013) that
+// scales from one entity to a whole relation.
+//
+// Two entry points cover the two workload shapes:
+//
+//   - NewSession grounds ONE entity instance — all tuples describe the
+//     same real-world entity — and exposes the per-entity kernel:
+//     Deduce (the IsCR algorithm of Fig. 4), TopK (the candidate-target
+//     search of Section 6), Check and the interactive framework of
+//     Section 4.
+//
+//   - Run / Stream process MANY entities at once: the batch pipeline
+//     shards entity instances across a worker pool, reuses the
+//     schema-level rule groundwork for every entity, and streams
+//     per-entity Results in input order together with an aggregate
+//     Summary. Per-entity output is identical to a sequential Session
+//     run regardless of the worker count.
+//
+// Raw relations enter through ReadRelation (CSV) and are grouped into
+// entity instances either by an existing identifier column (GroupBy) or
+// by similarity-based entity resolution (Resolve). Rules are written in
+// the textual rule language (ParseRules); see DESIGN.md for the
+// subsystem map and the data-flow picture, and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+//
+// Everything here wraps the internal packages (core, pipeline, csvio,
+// er) without adding semantics, so library callers need no internal
+// imports.
+package relacc
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/csvio"
+	"repro/internal/er"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/rule"
+)
+
+// Data-model types, re-exported from internal/model.
+type (
+	// Schema is a relation schema: a name plus ordered attributes.
+	Schema = model.Schema
+	// Tuple is one tuple of a schema.
+	Tuple = model.Tuple
+	// Value is one attribute value (null, string, number or boolean).
+	Value = model.Value
+	// EntityInstance is the set Ie of tuples describing one entity.
+	EntityInstance = model.EntityInstance
+	// MasterRelation is the master data Im of the form-(2) rules.
+	MasterRelation = model.MasterRelation
+	// RuleSet is a validated accuracy-rule set Σ.
+	RuleSet = rule.Set
+)
+
+// Per-entity session API, re-exported from internal/core.
+type (
+	// Session is the per-entity kernel; see NewSession.
+	Session = core.Session
+	// Preference is the (k, p(·)) preference model of Section 3.
+	Preference = core.Preference
+	// Candidate is one verified candidate target.
+	Candidate = core.Candidate
+	// SearchStats reports the work a top-k search performed.
+	SearchStats = core.SearchStats
+	// DeduceResult is a chase outcome: Church-Rosser verdict, deduced
+	// target tuple and terminal accuracy orders.
+	DeduceResult = core.Result
+	// Oracle drives the interactive framework of Section 4.
+	Oracle = core.Oracle
+	// Algorithm selects a top-k candidate algorithm.
+	Algorithm = core.Algorithm
+)
+
+// Batch pipeline API, re-exported from internal/pipeline.
+type (
+	// BatchConfig tunes a batch run (workers, top-k, algorithm).
+	BatchConfig = pipeline.Config
+	// Result is the outcome for one entity of a batch.
+	Result = pipeline.Result
+	// Summary aggregates a batch's outcomes and coverage.
+	Summary = pipeline.Summary
+)
+
+// Top-k algorithm choices.
+const (
+	AlgoTopKCT     = core.AlgoTopKCT
+	AlgoRankJoinCT = core.AlgoRankJoinCT
+	AlgoTopKCTh    = core.AlgoTopKCTh
+)
+
+// Value constructors, re-exported from internal/model.
+var (
+	// S makes a string value.
+	S = model.S
+	// I makes an integer value.
+	I = model.I
+	// F makes a float value.
+	F = model.F
+	// B makes a boolean value.
+	B = model.B
+	// NullValue makes the null value.
+	NullValue = model.NullValue
+	// Parse interprets a CSV cell ("null"/"" null, numerals numeric,
+	// true/false boolean, everything else string).
+	Parse = model.Parse
+)
+
+// NewSchema builds a schema; attribute names must be non-empty and
+// pairwise distinct.
+func NewSchema(name string, attrs ...string) (*Schema, error) {
+	return model.NewSchema(name, attrs...)
+}
+
+// NewSession validates the rules against the schemas and grounds ONE
+// entity instance. im may be nil when the rule set has no form-(2)
+// rules. Sessions are not safe for concurrent use; for many entities
+// use Run, which parallelises safely.
+func NewSession(ie *EntityInstance, im *MasterRelation, rules *RuleSet) (*Session, error) {
+	return core.NewSession(ie, im, rules)
+}
+
+// ParseRules parses the textual rule language and validates the result
+// against the schemas; master may be nil.
+func ParseRules(text string, entity *Schema, master *Schema) (*RuleSet, error) {
+	return core.ParseRules(text, entity, master)
+}
+
+// FormatRules renders a rule set in the textual rule language.
+func FormatRules(rules *RuleSet) string { return core.FormatRules(rules) }
+
+// Run processes every entity instance through the deduce → top-k
+// pipeline and returns per-entity results in input order plus the batch
+// summary. All instances must share one schema; a failing entity
+// reports through its Result.Err without aborting the batch.
+func Run(entities []*EntityInstance, cfg BatchConfig) ([]Result, Summary, error) {
+	return pipeline.Run(entities, cfg)
+}
+
+// Stream is Run with a sink: results are delivered in input order as
+// soon as they (and their predecessors) finish, so verdicts can be
+// reported or persisted while later entities are still being checked.
+// A sink error stops the batch early.
+func Stream(entities []*EntityInstance, cfg BatchConfig, sink func(Result) error) (Summary, error) {
+	return pipeline.Stream(entities, cfg, sink)
+}
+
+// ReadRelation parses CSV (first row = attribute names) into a schema
+// named name and its tuples.
+func ReadRelation(r io.Reader, name string) (*Schema, []*Tuple, error) {
+	return csvio.ReadRelation(r, name)
+}
+
+// ReadRelationFile is ReadRelation over a file path.
+func ReadRelationFile(path string) (*Schema, []*Tuple, error) {
+	return csvio.ReadRelationFile(path)
+}
+
+// ReadMaster loads a CSV as a master relation.
+func ReadMaster(r io.Reader, name string) (*MasterRelation, error) {
+	return csvio.ReadMaster(r, name)
+}
+
+// WriteRelation writes a header plus one CSV row per tuple.
+func WriteRelation(w io.Writer, schema *Schema, tuples []*Tuple) error {
+	return csvio.WriteRelation(w, schema, tuples)
+}
+
+// GroupBy partitions a relation's tuples into entity instances by exact
+// equality on one attribute — for data that already carries an entity
+// identifier. Null-keyed tuples become singleton entities.
+func GroupBy(tuples []*Tuple, s *Schema, attr string) ([]*EntityInstance, error) {
+	return er.GroupBy(tuples, s, attr)
+}
+
+// ResolveConfig tunes similarity-based entity resolution; see
+// internal/er for the pipeline (blocking, attribute similarity,
+// transitive merging).
+type ResolveConfig = er.Config
+
+// Resolve partitions a relation's tuples into entity instances by
+// pairwise attribute similarity — for data without a trustworthy
+// identifier column.
+func Resolve(tuples []*Tuple, s *Schema, cfg ResolveConfig) ([]*EntityInstance, error) {
+	return er.Resolve(tuples, s, cfg)
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# check-docs.sh — docs-consistency gate for CI.
+#
+# Fails when a markdown file referenced from Go doc comments or from
+# README.md does not exist at the repository root, so the docs the code
+# promises (DESIGN.md, EXPERIMENTS.md, ...) can never silently go
+# missing again.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+refs=$(
+	{
+		# Markdown paths mentioned in Go comment lines (relative to the
+		# repository root, possibly in subdirectories).
+		grep -rhE '^[[:space:]]*//' --include='*.go' . |
+			grep -oE '[A-Za-z0-9_][A-Za-z0-9_./-]*\.md' || true
+		# Markdown paths mentioned in README.md.
+		grep -oE '[A-Za-z0-9_][A-Za-z0-9_./-]*\.md' README.md || true
+	} | sort -u
+)
+for f in $refs; do
+	if [ ! -e "$f" ]; then
+		echo "check-docs: $f is referenced from docs but does not exist" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -eq 0 ]; then
+	echo "check-docs: all referenced markdown files exist"
+fi
+exit "$fail"
