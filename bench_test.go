@@ -214,6 +214,54 @@ func BenchmarkTopKCTParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalAdd compares the two ways a grounded entity can
+// absorb one new evidence tuple: the delta path (Grounding.Extend —
+// delta Instantiation plus monotone resumption of the base chase) and
+// the full rebuild (Shared.NewGrounding over the grown instance; the
+// Shared is prebuilt for both, so the comparison isolates per-instance
+// work). The delta path must show strictly lower ns/op and allocs/op —
+// it grounds O(‖Σ‖·n) new pairs instead of O(‖Σ‖·n²) — and this
+// benchmark tracks that win over time at the Fig 6(i) scales.
+func BenchmarkIncrementalAdd(b *testing.B) {
+	for _, size := range []int{300, 900} {
+		cfg := gen.SynDefault()
+		cfg.Tuples = size
+		cfg.Im = 300
+		cfg.Rules = 60
+		ds := gen.GenerateSyn(cfg)
+		full := ds.Entities[0].Instance
+		sh, err := chase.NewShared(full.Schema(), ds.Master, ds.Rules)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := model.NewEntityInstance(full.Schema())
+		for i := 0; i < full.Size()-1; i++ {
+			base.MustAdd(full.Tuple(i))
+		}
+		last := full.Tuple(full.Size() - 1)
+		g, err := sh.NewGrounding(base, chase.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("Ie=%d/extend", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Extend(last); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Ie=%d/rebuild", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sh.NewGrounding(full, chase.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // synGrounding builds a mid-size synthetic grounding shared by the
 // top-k micro-benchmarks.
 var (

@@ -5,6 +5,7 @@
 //	relacc check  -data instance.csv [-master master.csv] -rules rules.txt -candidate cand.csv
 //	relacc rules  -rules rules.txt -data instance.csv [-master master.csv]
 //	relacc batch  -data relation.csv [-master master.csv] -rules rules.txt [-by id | -key a,b] [-workers N] [-topk K] [-algo ...] [-o fused.csv]
+//	relacc append -data base.csv -delta delta.csv [-master master.csv] -rules rules.txt -by id [-workers N] [-topk K] [-algo ...] [-o fused.csv]
 //
 // deduce/topk/check operate on the tuples of ONE entity; batch takes a
 // whole relation of many entities, groups it into entity instances —
@@ -13,6 +14,14 @@
 // top-k pipeline over all of them on a worker pool, printing one
 // verdict per entity plus a summary. -o writes the settled targets
 // (deduced complete, or filled from the best candidate) as CSV.
+//
+// append is the incremental face of batch: the base relation is
+// deduced once, then the delta relation's tuples are routed by the -by
+// identifier into the live per-entity sessions and only the touched
+// entities are re-deduced — through delta instantiation, not a
+// rebuild — printing one re-deduced verdict per touched entity. The
+// delta CSV must carry the same columns as the base; -o writes the
+// settled targets of the final state of every entity.
 //
 // The optional master CSV holds master data; the rule file uses the
 // textual rule language (see internal/ruledsl):
@@ -49,7 +58,8 @@ func main() {
 	algo := fs.String("algo", "topkct", "top-k algorithm: topkct, rankjoin or topkcth")
 	par := fs.Int("par", -1, "concurrent candidate checks (1 = sequential, -1 = GOMAXPROCS)")
 	candPath := fs.String("candidate", "", "candidate tuple CSV (check)")
-	by := fs.String("by", "", "batch: group entities by exact match on this column")
+	deltaPath := fs.String("delta", "", "append: delta relation CSV (same columns as -data)")
+	by := fs.String("by", "", "batch/append: group entities by exact match on this column")
 	key := fs.String("key", "", "batch: comma-separated key attributes for similarity-based grouping")
 	threshold := fs.Float64("threshold", 0, "batch: similarity threshold for -key grouping (0 = 0.85)")
 	workers := fs.Int("workers", 0, "batch: concurrent entities (0 = GOMAXPROCS)")
@@ -66,21 +76,34 @@ func main() {
 		// mode's flags loudly instead of silently ignoring them.
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "by", "key", "threshold", "workers", "topk", "o", "v":
-				fatal(fmt.Errorf("flag -%s applies to batch; %s uses -k and -par", f.Name, cmd))
+			case "by", "key", "threshold", "workers", "topk", "o", "v", "delta":
+				fatal(fmt.Errorf("flag -%s applies to batch/append; %s uses -k and -par", f.Name, cmd))
 			}
 		})
 	case "batch":
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "k", "par", "candidate":
-				fatal(fmt.Errorf("flag -%s applies to the single-entity modes; batch uses -topk and -workers", f.Name))
+			case "k", "par", "candidate", "delta":
+				fatal(fmt.Errorf("flag -%s does not apply to batch; batch uses -topk and -workers", f.Name))
 			}
 		})
 		runBatch(batchArgs{
 			data: *dataPath, master: *masterPath, rules: *rulesPath,
 			by: *by, key: *key, threshold: *threshold,
 			workers: *workers, topK: *topK, algo: *algo,
+			out: *outPath, verbose: *verbose,
+		})
+		return
+	case "append":
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "k", "par", "candidate", "key", "threshold":
+				fatal(fmt.Errorf("flag -%s does not apply to append; append routes deltas by -by", f.Name))
+			}
+		})
+		runAppend(appendArgs{
+			data: *dataPath, delta: *deltaPath, master: *masterPath, rules: *rulesPath,
+			by: *by, workers: *workers, topK: *topK, algo: *algo,
 			out: *outPath, verbose: *verbose,
 		})
 		return
@@ -270,30 +293,12 @@ func runBatch(a batchArgs) {
 		TopK:    a.topK,
 		Algo:    alg,
 	}, func(r pipeline.Result) error {
-		status := r.Status()
-		var target *model.Tuple
-		switch status {
-		case "complete":
-			target = r.Deduction.Target
-		case "candidates":
-			target = r.Candidates[0].Tuple
-		}
+		target := settledTarget(r)
 		if target != nil {
 			settled = append(settled, target)
 		}
 		if a.verbose || target == nil {
-			line := fmt.Sprintf("entity %4d  [%d tuples]  %-17s", r.Index, r.Instance.Size(), status)
-			switch {
-			case r.Err != nil:
-				line += " " + r.Err.Error()
-			case status == "not-church-rosser":
-				line += " " + r.Deduction.Conflict
-			case target != nil:
-				line += " " + target.String()
-			default:
-				line += " " + r.Deduction.Target.String()
-			}
-			fmt.Println(line)
+			printEntityLine(fmt.Sprintf("%d", r.Index), r)
 		}
 		return nil
 	})
@@ -303,19 +308,252 @@ func runBatch(a batchArgs) {
 	fmt.Println(sum.String())
 
 	if a.out != "" {
-		f, err := os.Create(a.out)
-		if err != nil {
-			fatal(err)
-		}
-		if err := csvio.WriteRelation(f, schema, settled); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %d settled targets to %s\n", len(settled), a.out)
+		writeSettled(a.out, schema, settled, len(entities))
 	}
+}
+
+type appendArgs struct {
+	data, delta, master, rules string
+	by                         string
+	workers, topK              int
+	algo                       string
+	out                        string
+	verbose                    bool
+}
+
+// runAppend is the incremental pipeline front end: the base relation
+// seeds live per-entity sessions, the delta relation's tuples are
+// routed to them by the -by identifier, and only the touched entities
+// are re-deduced (through chase-level delta instantiation).
+func runAppend(a appendArgs) {
+	if a.data == "" || a.delta == "" || a.rules == "" {
+		fmt.Fprintln(os.Stderr, "relacc: append needs -data, -delta and -rules")
+		os.Exit(2)
+	}
+	if a.by == "" {
+		fmt.Fprintln(os.Stderr, "relacc: append needs -by (the identifier column routing delta tuples)")
+		os.Exit(2)
+	}
+	alg, err := parseAlgo(a.algo)
+	if err != nil {
+		fatal(err)
+	}
+	schema, baseTuples, err := csvio.ReadRelationFile(a.data)
+	if err != nil {
+		fatal(err)
+	}
+	deltaSchema, deltaTuples, err := csvio.ReadRelationFile(a.delta)
+	if err != nil {
+		fatal(err)
+	}
+	deltaTuples, err = remapTuples(deltaTuples, deltaSchema, schema)
+	if err != nil {
+		fatal(err)
+	}
+	im, rules, err := loadMasterAndRules(a.master, a.rules, schema)
+	if err != nil {
+		fatal(err)
+	}
+	baseUps, baseLabels, err := groupUpdates(baseTuples, schema, a.by)
+	if err != nil {
+		fatal(err)
+	}
+	deltaUps, deltaLabels, err := groupUpdates(deltaTuples, schema, a.by)
+	if err != nil {
+		fatal(err)
+	}
+
+	u, err := pipeline.NewUpdater(schema, pipeline.Config{
+		Master:  im,
+		Rules:   rules,
+		Workers: a.workers,
+		TopK:    a.topK,
+		Algo:    alg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	baseResults, baseSum, err := u.Apply(baseUps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("base: %d tuples grouped into %d entities\n", len(baseTuples), len(baseUps))
+	if a.verbose {
+		for i, r := range baseResults {
+			printEntityLine(baseLabels[i], r)
+		}
+	}
+	fmt.Println("base:", baseSum.String())
+
+	newKeys := 0
+	preVersion := make(map[string]int, len(deltaUps))
+	for i := range deltaUps {
+		v := u.Version(deltaUps[i].Key)
+		preVersion[deltaUps[i].Key] = v
+		if v < 0 {
+			newKeys++
+		}
+	}
+	deltaResults, deltaSum, err := u.Apply(deltaUps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("delta: %d tuples touched %d entities (%d new); re-deduced targets:\n",
+		len(deltaTuples), len(deltaUps), newKeys)
+	for i, r := range deltaResults {
+		printEntityLine(deltaLabels[i], r)
+	}
+	fmt.Println("delta:", deltaSum.String())
+
+	if a.out != "" {
+		// The two Apply phases already deduced every entity's final
+		// state: base results stand except where the delta re-deduced
+		// the entity. Merging avoids re-running deduction and top-k
+		// search over the whole stream just to write the output.
+		final := map[string]pipeline.Result{}
+		var keys []string
+		for i, r := range baseResults {
+			final[baseUps[i].Key] = r
+			keys = append(keys, baseUps[i].Key)
+		}
+		for i, r := range deltaResults {
+			key := deltaUps[i].Key
+			if r.Err != nil {
+				// Two failure phases, two outcomes (see Updater.Apply):
+				// if the version did not advance the delta was never
+				// absorbed and the base result still describes the
+				// entity; if it did advance, the evidence IS in but no
+				// fresh target exists — the base target would be stale,
+				// so the entity is dropped, exactly as a batch over
+				// base+delta would emit no settled target for it.
+				if u.Version(key) != preVersion[key] {
+					delete(final, key)
+				}
+				continue
+			}
+			if _, seen := final[key]; !seen {
+				keys = append(keys, key)
+			}
+			final[key] = r
+		}
+		var settled []*model.Tuple
+		entities := 0
+		for _, k := range keys {
+			r, ok := final[k]
+			if !ok {
+				continue
+			}
+			entities++
+			if target := settledTarget(r); target != nil {
+				settled = append(settled, target)
+			}
+		}
+		writeSettled(a.out, schema, settled, entities)
+	}
+}
+
+// settledTarget returns the target a result settles on: the complete
+// deduced target, the best verified candidate, or nil when the entity
+// stays unsettled. Both batch and append derive their -o output and
+// verdict lines from it.
+func settledTarget(r pipeline.Result) *model.Tuple {
+	switch r.Status() {
+	case "complete":
+		return r.Deduction.Target
+	case "candidates":
+		return r.Candidates[0].Tuple
+	}
+	return nil
+}
+
+// writeSettled writes the settled targets as CSV, shared by the batch
+// and append -o paths.
+func writeSettled(path string, schema *model.Schema, settled []*model.Tuple, entities int) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := csvio.WriteRelation(f, schema, settled); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d settled targets (of %d entities) to %s\n", len(settled), entities, path)
+}
+
+// printEntityLine renders one per-entity verdict; batch labels entities
+// by index, append by key.
+func printEntityLine(label string, r pipeline.Result) {
+	target := settledTarget(r)
+	line := fmt.Sprintf("entity %-12s [%d tuples]  %-17s", label, r.Instance.Size(), r.Status())
+	switch {
+	case r.Err != nil:
+		line += " " + r.Err.Error()
+	case r.Status() == "not-church-rosser":
+		line += " " + r.Deduction.Conflict
+	case target != nil:
+		line += " " + target.String()
+	default:
+		line += " " + r.Deduction.Target.String()
+	}
+	fmt.Println(line)
+}
+
+// groupUpdates groups a relation's tuples into keyed updates by exact
+// match on the identifier column, preserving first-seen order, and
+// returns the display labels alongside (Update.Key is the value's
+// type-tagged identity key; the label is what the column actually
+// says). Null keys are rejected: append mode needs a routable
+// identifier.
+func groupUpdates(tuples []*model.Tuple, schema *model.Schema, by string) ([]pipeline.Update, []string, error) {
+	idx := schema.Index(by)
+	if idx < 0 {
+		return nil, nil, fmt.Errorf("column %q is not in the schema", by)
+	}
+	at := map[string]int{}
+	var ups []pipeline.Update
+	var labels []string
+	for i, t := range tuples {
+		v := t.At(idx)
+		if v.IsNull() {
+			return nil, nil, fmt.Errorf("row %d has a null %s value; append mode needs a routable identifier", i+1, by)
+		}
+		k := v.Key()
+		if j, ok := at[k]; ok {
+			ups[j].Tuples = append(ups[j].Tuples, t)
+		} else {
+			at[k] = len(ups)
+			ups = append(ups, pipeline.Update{Key: k, Tuples: []*model.Tuple{t}})
+			labels = append(labels, v.String())
+		}
+	}
+	return ups, labels, nil
+}
+
+// remapTuples rebuilds tuples read under one schema object onto the
+// base schema (schemas match by pointer identity everywhere else, and
+// the delta CSV necessarily parses into its own schema object). The
+// column sets must agree; order may differ.
+func remapTuples(tuples []*model.Tuple, from, to *model.Schema) ([]*model.Tuple, error) {
+	for _, attr := range from.Attrs() {
+		if to.Index(attr) < 0 {
+			return nil, fmt.Errorf("delta column %q is not in the base relation", attr)
+		}
+	}
+	if from.Arity() != to.Arity() {
+		return nil, fmt.Errorf("delta has %d columns, base has %d", from.Arity(), to.Arity())
+	}
+	out := make([]*model.Tuple, len(tuples))
+	for i, t := range tuples {
+		nt := model.NewTuple(to)
+		for a, attr := range from.Attrs() {
+			nt.Set(attr, t.At(a))
+		}
+		out[i] = nt
+	}
+	return out, nil
 }
 
 func parseAlgo(name string) (core.Algorithm, error) {
@@ -342,10 +580,12 @@ func printTarget(schema *model.Schema, t *model.Tuple) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: relacc <deduce|topk|check|rules|batch> -data data.csv -rules rules.txt [flags]
+	fmt.Fprintln(os.Stderr, `usage: relacc <deduce|topk|check|rules|batch|append> -data data.csv -rules rules.txt [flags]
   deduce/topk/check/rules operate on one entity's tuples;
   batch groups a multi-entity relation (-by col | -key a,b) and runs the
-  pipeline over it (-workers N -topk K -algo topkct|rankjoin|topkcth -o out.csv)`)
+  pipeline over it (-workers N -topk K -algo topkct|rankjoin|topkcth -o out.csv);
+  append deduces a base relation, then routes -delta tuples to the live
+  entities by -by and incrementally re-deduces only the touched ones`)
 }
 
 func fatal(err error) {

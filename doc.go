@@ -11,12 +11,16 @@
 // candidate target tuples when deduction alone cannot complete the
 // answer. Beyond the paper's per-entity setting, the batch pipeline
 // runs the deduce → top-k loop over whole relations of many entities on
-// a worker pool.
+// a worker pool, and the update stream absorbs evidence deltas into
+// live entities incrementally — re-deducing only what a delta touches,
+// with targets, verdicts, candidates and stats byte-identical to a
+// from-scratch run.
 //
 // Start at package relacc, the public API: per-entity Sessions
-// (relacc.NewSession), multi-entity batches (relacc.Run), CSV loading
-// and entity grouping. cmd/relacc is the CLI (single-entity deduce /
-// topk / check plus a multi-entity batch mode), cmd/experiments
+// (relacc.NewSession, Session.AddTuples), multi-entity batches
+// (relacc.Run), update streams (relacc.NewUpdater), CSV loading and
+// entity grouping. cmd/relacc is the CLI (single-entity deduce /
+// topk / check plus multi-entity batch and append modes), cmd/experiments
 // reproduces the paper's evaluation, and the examples/ directory holds
 // runnable walkthroughs. DESIGN.md maps every subsystem, the data flow
 // and the concurrency invariants; EXPERIMENTS.md records measured

@@ -57,6 +57,20 @@
 // The Grounding itself is immutable after NewGrounding, which is what
 // makes all of this safe: any number of engines may read it
 // concurrently.
+//
+// # Incremental evidence
+//
+// Evidence tuples may arrive after grounding. Grounding.Extend absorbs
+// a delta without rebuilding: it instantiates only the pairs that
+// involve new tuples against the same shared form-(2) index, resumes
+// the template-independent base chase from the previous terminal state
+// (the chase is monotone — enforced consequences stay enforced, so
+// only new steps and newly enforceable old steps replay), and returns
+// a NEW immutable grounding version. Immutability is per version:
+// in-flight checkers keep reading the old version; the new one shares
+// the old step prefix and trigger layers. Every Run, check and top-k
+// answer of an extended grounding is byte-identical to a fresh
+// grounding over the full instance (extend_test.go).
 package chase
 
 import (
@@ -232,14 +246,16 @@ type corrRule struct {
 
 // Grounding is the reusable, immutable product of Instantiation plus the
 // template-independent base chase. Create one with NewGrounding; run the
-// template-dependent part with Run.
+// template-dependent part with Run; absorb new evidence with Extend,
+// which returns a new immutable version and leaves the receiver as it
+// was.
 //
-// A Grounding is read-only after construction: Run, Checker.Check and
-// CheckBatch never mutate it, so any number of goroutines may issue
-// checks against the same Grounding concurrently (enforced by the race
-// tests in pool_test.go). All mutable chase state lives in per-run
-// engines; the only internal synchronisation is the lazily created
-// checker pool.
+// A Grounding is read-only after construction: Run, Checker.Check,
+// CheckBatch and Extend never mutate it, so any number of goroutines
+// may issue checks against the same Grounding concurrently (enforced by
+// the race tests in pool_test.go). All mutable chase state lives in
+// per-run engines; the only internal synchronisation is the lazily
+// created checker pool.
 type Grounding struct {
 	ie        *model.EntityInstance
 	im        *model.MasterRelation
@@ -273,6 +289,23 @@ type Grounding struct {
 	basePushed   []bool
 	baseSteps    int
 	baseConflict string
+
+	// ancestors holds the trigger layers of earlier versions of this
+	// grounding (oldest first; empty for a fresh grounding). An
+	// extended version shares its ancestors' immutable trigger maps,
+	// the step prefix, the correlation rules and the form-(2) index,
+	// and registers only its delta steps' premises in its own
+	// orderTrig/targetTrig — deliberately NOT a pointer to the parent
+	// grounding, so a long update stream does not pin every old
+	// version's heavy state (base orders, value indexes) in memory:
+	// once in-flight readers finish, old versions are collectable.
+	// Extend folds the layers together every maxTrigLayers versions so
+	// lookups stay O(1+maxTrigLayers) regardless of stream length.
+	ancestors []trigLayer
+	version   int
+	// hasOrderTrig caches whether any layer registered an order
+	// trigger, so the per-derived-pair fast path stays one branch.
+	hasOrderTrig bool
 
 	poolOnce sync.Once
 	pool     *CheckerPool
@@ -308,9 +341,48 @@ func (g *Grounding) Schema() *model.Schema { return g.schema }
 // counted).
 func (g *Grounding) GroundSteps() int { return len(g.steps) }
 
-func (g *Grounding) trigKey(attr, i, j int32) uint64 {
-	n := uint64(g.n)
-	return (uint64(attr)*n+uint64(i))*n + uint64(j)
+// Trigger keys pack (attr, i, j) into fixed bit fields rather than
+// mixing in n, so a key computed by one grounding version stays valid
+// for every later version of the same entity (Extend grows n). The
+// widths bound instances at 2²⁴ tuples and schemas at 2¹⁶ attributes,
+// far beyond the paper's scales; NewGrounding/Extend enforce the tuple
+// bound.
+const (
+	trigTupleBits = 24
+	trigTupleMask = 1<<trigTupleBits - 1
+	maxTuples     = 1 << trigTupleBits
+)
+
+func trigKey(attr, i, j int32) uint64 {
+	return uint64(attr)<<(2*trigTupleBits) | uint64(i)<<trigTupleBits | uint64(j)
+}
+
+func trigKeyDecode(k uint64) (attr, i, j int32) {
+	return int32(k >> (2 * trigTupleBits)), int32(k >> trigTupleBits & trigTupleMask), int32(k & trigTupleMask)
+}
+
+// trigLayer is one grounding version's trigger registrations. Layers
+// are immutable once the version is built; extended versions stack
+// them and engines consult every layer (step indices are global across
+// the version chain, so one premise-counter array serves all layers).
+type trigLayer struct {
+	orderTrig  map[uint64][]predRef
+	targetTrig [][]predRef
+}
+
+// ownLayer returns this version's trigger registrations as a layer and
+// whether it holds any trigger at all (empty layers are not stacked).
+func (g *Grounding) ownLayer() (trigLayer, bool) {
+	has := len(g.orderTrig) > 0
+	if !has {
+		for _, refs := range g.targetTrig {
+			if len(refs) > 0 {
+				has = true
+				break
+			}
+		}
+	}
+	return trigLayer{orderTrig: g.orderTrig, targetTrig: g.targetTrig}, has
 }
 
 func (g *Grounding) indexValues() {
@@ -367,7 +439,7 @@ func (g *Grounding) ground() []packedPair {
 				g.corrs[cr.fromAttr] = append(g.corrs[cr.fromAttr], cr)
 				continue
 			}
-			zero = g.groundForm1(f, zero, seen)
+			zero = g.groundForm1(f, zero, seen, 0)
 		case *rule.Form2:
 			// Handled by the shared form2Index.
 		}
@@ -375,18 +447,35 @@ func (g *Grounding) ground() []packedPair {
 	return zero
 }
 
-// pairSet is a bitset over (attr, i, j) triples.
+// pairSet is a set of (attr, i, j) triples: a dense bitset when built
+// with newPairSet (full Instantiation visits most triples), a map when
+// built with newSparsePairSet (delta Instantiation visits only pairs
+// involving new tuples, far fewer than attrs·n² — a dense set would
+// spend more time zeroing than grounding).
 type pairSet struct {
-	n    int
-	bits []uint64
+	n      int
+	bits   []uint64
+	sparse map[uint64]struct{}
 }
 
 func newPairSet(attrs, n int) *pairSet {
 	return &pairSet{n: n, bits: make([]uint64, (attrs*n*n+63)/64)}
 }
 
+func newSparsePairSet() *pairSet {
+	return &pairSet{sparse: make(map[uint64]struct{})}
+}
+
 // insert reports whether the triple was newly added.
 func (ps *pairSet) insert(attr, i, j int32) bool {
+	if ps.sparse != nil {
+		key := trigKey(attr, i, j)
+		if _, ok := ps.sparse[key]; ok {
+			return false
+		}
+		ps.sparse[key] = struct{}{}
+		return true
+	}
 	idx := (uint64(attr)*uint64(ps.n)+uint64(i))*uint64(ps.n) + uint64(j)
 	w, b := idx>>6, uint64(1)<<(idx&63)
 	if ps.bits[w]&b != 0 {
@@ -445,12 +534,22 @@ func (g *Grounding) evalCmpOnPair(p rule.Pred, i, j int32) bool {
 	return p.Op.Eval(get(p.Left), get(p.Right))
 }
 
-func (g *Grounding) groundForm1(f *rule.Form1, zero []packedPair, seen *pairSet) []packedPair {
+// groundForm1 materialises the ground steps of one form-(1) rule. Only
+// pairs (i, j) with i >= oldN or j >= oldN are visited: a fresh
+// grounding passes oldN == 0 (all pairs), while delta Instantiation
+// passes the previous instance size so the work is the new-tuple ×
+// existing-tuple and new-tuple × new-tuple pairs — O(‖Σ‖·d·n) for d
+// added tuples instead of the full O(‖Σ‖·n²) rebuild.
+func (g *Grounding) groundForm1(f *rule.Form1, zero []packedPair, seen *pairSet, oldN int32) []packedPair {
 	rhs := int32(g.schema.Index(f.RHS))
 	n := int32(g.n)
 	for i := int32(0); i < n; i++ {
+		jFrom := int32(0)
+		if i < oldN {
+			jFrom = oldN // old × old pairs are already grounded
+		}
 	pairs:
-		for j := int32(0); j < n; j++ {
+		for j := jFrom; j < n; j++ {
 			var preds []resid
 			for _, p := range f.LHS {
 				switch p.Kind {
@@ -606,7 +705,7 @@ func (g *Grounding) addStep(st groundStep) {
 		ref := predRef{step: idx, pred: int32(pi)}
 		switch p.kind {
 		case residOrder:
-			k := g.trigKey(p.attr, p.i, p.j)
+			k := trigKey(p.attr, p.i, p.j)
 			g.orderTrig[k] = append(g.orderTrig[k], ref)
 		case residTarget:
 			g.targetTrig[p.attr] = append(g.targetTrig[p.attr], ref)
@@ -651,11 +750,8 @@ func (g *Grounding) baseChase(zeroPairs []packedPair) {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	n := uint64(g.n)
 	for _, k := range keys {
-		attr := int32(k / (n * n))
-		i := int32(k / n % n)
-		j := int32(k % n)
+		attr, i, j := trigKeyDecode(k)
 		if e.orders.Attr(int(attr)).Has(int(i), int(j)) {
 			e.fireOrderKey(k)
 		}
@@ -680,12 +776,7 @@ func (g *Grounding) baseChase(zeroPairs []packedPair) {
 		}
 	}
 	e.drain()
-	g.baseOrders = e.orders
-	g.baseCounts = e.counts
-	g.baseNpred = e.npred
-	g.basePushed = e.pushed
-	g.baseSteps = e.stepsApplied
-	g.baseConflict = e.conflict
+	g.snapshotBase(e)
 }
 
 // sortedGroups returns the value groups of attribute a in a

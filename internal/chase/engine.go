@@ -243,19 +243,27 @@ func (e *engine) derivedPair(attr, x, y int32) {
 			}
 		}
 	}
-	if len(e.g.orderTrig) > 0 {
-		e.fireOrderKey(e.g.trigKey(attr, x, y))
+	if e.g.hasOrderTrig {
+		e.fireOrderKey(trigKey(attr, x, y))
 	}
 	e.fireCorr(attr, x, y)
 }
 
 // fireOrderKey satisfies every ground-step premise waiting on the order
-// fact identified by key.
+// fact identified by key. Triggers are layered by grounding version —
+// each Extend registers only its new steps' premises — so the lookup
+// consults the ancestor layers (oldest first, matching a fresh
+// grounding's step-index registration order) and then the current
+// version's own map; keys are version-independent (fixed bit fields,
+// not scaled by n).
 func (e *engine) fireOrderKey(key uint64) {
-	refs, ok := e.g.orderTrig[key]
-	if !ok {
-		return
+	for _, l := range e.g.ancestors {
+		e.fireOrderRefs(l.orderTrig[key])
 	}
+	e.fireOrderRefs(e.g.orderTrig[key])
+}
+
+func (e *engine) fireOrderRefs(refs []predRef) {
 	for _, ref := range refs {
 		if e.dead[ref.step] {
 			continue
@@ -304,7 +312,33 @@ func (e *engine) applyTarget(attr int32, v model.Value) {
 	}
 	e.te.SetAt(int(attr), v)
 	e.fireForm2(attr, v)
-	for _, ref := range e.g.targetTrig[attr] {
+	// Target triggers are layered by grounding version like the order
+	// triggers; step indices are global across the layers, so one npred
+	// array serves them all.
+	for _, l := range e.g.ancestors {
+		e.fireTargetRefs(l.targetTrig[attr], v)
+	}
+	e.fireTargetRefs(e.g.targetTrig[attr], v)
+	if e.g.useAxioms {
+		// ϕ8: every tuple is at most as accurate as the tuples whose
+		// attr value equals the (now known) target value.
+		group := e.g.valueGroups[attr][v.Norm()]
+		if len(group) > 0 {
+			e.orders.Attr(int(attr)).AddAllTo(group, func(x, y int) {
+				if e.conflict == "" {
+					e.derivedPair(attr, int32(x), int32(y))
+				}
+			})
+		}
+	}
+}
+
+// fireTargetRefs resolves the target premises of one trigger layer
+// against the just-instantiated value: each premise either fires (and
+// may complete its step) or can never be satisfied again, killing the
+// step.
+func (e *engine) fireTargetRefs(refs []predRef, v model.Value) {
+	for _, ref := range refs {
 		if e.dead[ref.step] {
 			continue
 		}
@@ -318,18 +352,6 @@ func (e *engine) applyTarget(attr int32, v model.Value) {
 			// te[attr] will never change again, so the premise — and with
 			// it the whole step — can never be satisfied.
 			e.markDead(ref.step)
-		}
-	}
-	if e.g.useAxioms {
-		// ϕ8: every tuple is at most as accurate as the tuples whose
-		// attr value equals the (now known) target value.
-		group := e.g.valueGroups[attr][v.Norm()]
-		if len(group) > 0 {
-			e.orders.Attr(int(attr)).AddAllTo(group, func(x, y int) {
-				if e.conflict == "" {
-					e.derivedPair(attr, int32(x), int32(y))
-				}
-			})
 		}
 	}
 }

@@ -1,0 +1,303 @@
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rule"
+)
+
+// Extend absorbs new evidence tuples into the grounded specification
+// and returns a NEW grounding version; the receiver is left exactly as
+// it was, so in-flight Runs, Checkers and CheckBatches against it are
+// unaffected and later checks against it keep answering for the old
+// evidence. Each version is immutable after construction, which
+// carries the concurrency story of a fresh grounding over to the
+// incremental path; a version does NOT keep its parent alive — it
+// shares only the step prefix and the (bounded) trigger layers — so
+// superseded versions are garbage-collected once their readers finish.
+//
+// Extend is the delta form of the paper's Instantiation (Section 5):
+// only the new-tuple × existing-tuple and new-tuple × new-tuple pairs
+// are partially evaluated — O(‖Σ‖·d·n) ground work for d added tuples
+// instead of the O(‖Σ‖·n²) full rebuild — against the same precompiled
+// form-(2) index the parent uses (it depends on master data and te
+// conditions only, never on Ie). The template-independent base chase
+// then RESUMES from the parent's terminal state rather than replaying
+// from scratch: the chase is monotone, so every consequence the parent
+// enforced stays enforced, and only the new tuples' axiom seeds, the
+// newly grounded steps and any old steps they newly enable are chased.
+// The result answers exactly like grounding the full instance fresh:
+// deduced targets, CR verdicts, terminal orders, step counts, top-k
+// candidates and stats are byte-identical (enforced by extend_test.go
+// and the core equivalence tests). The one deliberate exception is the
+// conflict WITNESS of a non-Church-Rosser specification: which invalid
+// step gets reported first depends on enforcement order, so the
+// Conflict string may name a different (equally valid) culprit than a
+// fresh grounding's.
+func (g *Grounding) Extend(tuples ...*model.Tuple) (*Grounding, error) {
+	if len(tuples) == 0 {
+		return g, nil
+	}
+	ie2, err := g.ie.Extend(tuples...)
+	if err != nil {
+		return nil, fmt.Errorf("chase: %w", err)
+	}
+	if ie2.Size() >= maxTuples {
+		return nil, fmt.Errorf("chase: instance would hold %d tuples, limit is %d",
+			ie2.Size(), maxTuples-1)
+	}
+	ng := &Grounding{
+		ie:        ie2,
+		im:        g.im,
+		rules:     g.rules,
+		schema:    g.schema,
+		n:         ie2.Size(),
+		nattr:     g.nattr,
+		useAxioms: g.useAxioms,
+		// The step prefix is shared with the parent; the full slice
+		// expression forces the first delta step onto a fresh backing
+		// array instead of overwriting the parent's.
+		steps:     g.steps[:len(g.steps):len(g.steps)],
+		orderTrig: make(map[uint64][]predRef),
+		corrs:     g.corrs, // instance-independent; never mutated after grounding
+		form2:     g.form2,
+		version:   g.version + 1,
+	}
+	// Stack the parent's trigger layers (sharing the maps, not the
+	// parent itself — its heavy state must stay collectable), then
+	// fold them together once the stack gets deep so lookup cost stays
+	// bounded on long update streams.
+	ng.ancestors = append([]trigLayer(nil), g.ancestors...)
+	if l, ok := g.ownLayer(); ok {
+		ng.ancestors = append(ng.ancestors, l)
+	}
+	ng.extendValues(g)
+	zero := ng.groundDelta(int32(g.n))
+	if len(ng.ancestors) > maxTrigLayers {
+		ng.compactTriggers()
+	}
+	ng.hasOrderTrig = len(ng.orderTrig) > 0
+	for _, l := range ng.ancestors {
+		ng.hasOrderTrig = ng.hasOrderTrig || len(l.orderTrig) > 0
+	}
+	ng.baseChaseDelta(g, zero)
+	return ng, nil
+}
+
+// maxTrigLayers bounds the trigger-layer stack: when an Extend would
+// exceed it, every layer is merged into the new version's own maps
+// (O(total triggers), amortised over maxTrigLayers versions), so
+// per-fact trigger lookups never walk more than maxTrigLayers+1 maps
+// however many deltas an entity has absorbed.
+const maxTrigLayers = 32
+
+// compactTriggers folds the ancestor layers into this version's own
+// trigger maps. Layers are merged oldest first and the own layer last,
+// which keeps every key's refs sorted by step index — the same order a
+// fresh grounding registers them in.
+func (ng *Grounding) compactTriggers() {
+	merged := make(map[uint64][]predRef)
+	mt := make([][]predRef, ng.nattr)
+	for _, l := range ng.ancestors {
+		for k, refs := range l.orderTrig {
+			merged[k] = append(merged[k], refs...)
+		}
+		for a, refs := range l.targetTrig {
+			mt[a] = append(mt[a], refs...)
+		}
+	}
+	for k, refs := range ng.orderTrig {
+		merged[k] = append(merged[k], refs...)
+	}
+	for a, refs := range ng.targetTrig {
+		mt[a] = append(mt[a], refs...)
+	}
+	ng.orderTrig, ng.targetTrig, ng.ancestors = merged, mt, nil
+}
+
+// Version reports how many evidence deltas this grounding has absorbed:
+// 0 for a fresh grounding, incremented by each Extend.
+func (g *Grounding) Version() int { return g.version }
+
+// extendValues builds the per-version value indexes: the parent's
+// entries are copied (they are O(nattr·n), cheap next to any chase
+// work) and the new tuples appended. Value groups are copy-on-append:
+// a group that gains no member is shared with the parent, a group that
+// does is reallocated so the parent's slice never changes.
+func (ng *Grounding) extendValues(p *Grounding) {
+	n, na, oldN := ng.n, ng.nattr, p.n
+	ng.valKey = make([][]string, na)
+	ng.isNull = make([][]bool, na)
+	ng.vals = make([][]model.Value, na)
+	ng.valueGroups = make([]map[model.Value][]int, na)
+	ng.targetTrig = make([][]predRef, na)
+	for a := 0; a < na; a++ {
+		vk := make([]string, n)
+		isn := make([]bool, n)
+		vs := make([]model.Value, n)
+		copy(vk, p.valKey[a])
+		copy(isn, p.isNull[a])
+		copy(vs, p.vals[a])
+		groups := make(map[model.Value][]int, len(p.valueGroups[a])+1)
+		for v, grp := range p.valueGroups[a] {
+			groups[v] = grp[:len(grp):len(grp)]
+		}
+		for i := oldN; i < n; i++ {
+			v := ng.ie.Value(i, a)
+			vs[i] = v
+			if v.IsNull() {
+				isn[i] = true
+				continue
+			}
+			vk[i] = v.Key()
+			nv := v.Norm()
+			groups[nv] = append(groups[nv], i)
+		}
+		ng.valKey[a], ng.isNull[a], ng.vals[a], ng.valueGroups[a] = vk, isn, vs, groups
+	}
+}
+
+// groundDelta is Instantiation restricted to pairs involving a new
+// tuple. Correlation-shaped rules compile to instance-independent
+// triggers already shared with the parent, and form-(2) rules live in
+// the shared index, so only plain form-(1) rules ground new steps.
+func (g *Grounding) groundDelta(oldN int32) []packedPair {
+	var zero []packedPair
+	seen := newSparsePairSet()
+	for _, r := range g.rules.Rules() {
+		f, ok := r.(*rule.Form1)
+		if !ok {
+			continue
+		}
+		if _, isCorr := g.compileCorr(f); isCorr {
+			continue
+		}
+		zero = g.groundForm1(f, zero, seen, oldN)
+	}
+	return zero
+}
+
+// newDeltaEngine primes a base-mode engine with the parent's terminal
+// base state, extended to the new instance size: order matrices grow
+// empty rows for the new tuples, λ counts and premise counters carry
+// over, and the new steps start with their full premise counts.
+func newDeltaEngine(ng, p *Grounding) *engine {
+	e := &engine{
+		g:      ng,
+		base:   true,
+		orders: p.baseOrders.Extend(ng.n - p.n),
+		counts: make([][]int32, ng.nattr),
+		npred:  make([]int32, len(ng.steps)),
+		dead:   make([]bool, len(ng.steps)),
+		pushed: make([]bool, len(ng.steps)),
+	}
+	for a := range e.counts {
+		e.counts[a] = make([]int32, ng.n)
+		copy(e.counts[a], p.baseCounts[a])
+	}
+	copy(e.npred, p.baseNpred)
+	for s := len(p.steps); s < len(ng.steps); s++ {
+		e.npred[s] = int32(len(ng.steps[s].preds))
+	}
+	copy(e.pushed, p.basePushed)
+	e.stepsApplied = p.baseSteps
+	return e
+}
+
+// baseChaseDelta resumes the template-independent base chase from the
+// parent's terminal state. Monotonicity is what makes resumption sound:
+// a chase step enforced by the parent stays enforced under more
+// evidence, so only the new tuples' axiom seeds, the delta ground steps
+// and old steps whose premises the new facts complete need replaying.
+// New facts propagate through the layered triggers into old steps, and
+// closure insertion may derive old×old pairs bridged by a new tuple —
+// both paths run through the same engine the fresh base chase uses.
+func (ng *Grounding) baseChaseDelta(p *Grounding, zeroPairs []packedPair) {
+	e := newDeltaEngine(ng, p)
+	if p.baseConflict != "" {
+		// The old evidence already made the base chase conflict; more
+		// evidence cannot retract an enforced step.
+		ng.snapshotBase(e)
+		ng.baseConflict = p.baseConflict
+		return
+	}
+	if ng.useAxioms {
+		ng.seedDeltaAxioms(e, p.n)
+	}
+	for _, pr := range zeroPairs {
+		e.pushPair(pr.attr, pr.i, pr.j)
+	}
+	for s := len(p.steps); s < len(ng.steps); s++ {
+		if e.npred[s] == 0 && !ng.steps[s].isTarget {
+			e.pushStep(int32(s))
+		}
+	}
+	e.drain()
+	ng.snapshotBase(e)
+}
+
+// seedDeltaAxioms enforces ϕ7/ϕ9 for the new tuples through the regular
+// worklist: unlike the fresh base chase, which seeds an empty relation
+// with closure-safe bulk writes, the delta runs against a populated
+// relation, so every seed goes through applyPair and gets closure
+// propagation, trigger firing and correlation cascades for free.
+// Already-derived pairs are no-ops.
+func (ng *Grounding) seedDeltaAxioms(e *engine, oldN int) {
+	for a := 0; a < ng.nattr; a++ {
+		aa := int32(a)
+		for i := oldN; i < ng.n; i++ {
+			e.pushPair(aa, int32(i), int32(i)) // ϕ9, reflexive
+		}
+		// ϕ9: each new tuple is mutually ⪯ the tuples sharing its value.
+		for i := oldN; i < ng.n; i++ {
+			if ng.isNull[a][i] {
+				continue
+			}
+			for _, j := range ng.valueGroups[a][ng.vals[a][i].Norm()] {
+				if j == i {
+					continue
+				}
+				e.pushPair(aa, int32(i), int32(j))
+				e.pushPair(aa, int32(j), int32(i))
+			}
+		}
+		// ϕ7: null values have the lowest accuracy — a new null joins
+		// the null clique and sits below every non-null; a new non-null
+		// sits above every old null (new nulls reach it via their own
+		// loop).
+		for i := oldN; i < ng.n; i++ {
+			ii := int32(i)
+			if ng.isNull[a][i] {
+				for j := 0; j < ng.n; j++ {
+					if j == i {
+						continue
+					}
+					if ng.isNull[a][j] {
+						e.pushPair(aa, ii, int32(j))
+						e.pushPair(aa, int32(j), ii)
+					} else {
+						e.pushPair(aa, ii, int32(j))
+					}
+				}
+			} else {
+				for j := 0; j < oldN; j++ {
+					if ng.isNull[a][j] {
+						e.pushPair(aa, int32(j), ii)
+					}
+				}
+			}
+		}
+	}
+}
+
+// snapshotBase freezes the engine's terminal state as this version's
+// base snapshot.
+func (g *Grounding) snapshotBase(e *engine) {
+	g.baseOrders = e.orders
+	g.baseCounts = e.counts
+	g.baseNpred = e.npred
+	g.basePushed = e.pushed
+	g.baseSteps = e.stepsApplied
+	g.baseConflict = e.conflict
+}

@@ -70,6 +70,9 @@ func (sh *Shared) NewGrounding(ie *model.EntityInstance, opts Options) (*Groundi
 		return nil, fmt.Errorf("chase: instance schema %s is not the shared schema %s",
 			ie.Schema().Name(), sh.schema.Name())
 	}
+	if ie.Size() >= maxTuples {
+		return nil, fmt.Errorf("chase: instance holds %d tuples, limit is %d", ie.Size(), maxTuples-1)
+	}
 	g := &Grounding{
 		ie:        ie,
 		im:        sh.im,
@@ -82,6 +85,8 @@ func (sh *Shared) NewGrounding(ie *model.EntityInstance, opts Options) (*Groundi
 		form2:     sh.form2,
 	}
 	g.indexValues()
-	g.baseChase(g.ground())
+	zero := g.ground()
+	g.hasOrderTrig = len(g.orderTrig) > 0
+	g.baseChase(zero)
 	return g, nil
 }

@@ -56,13 +56,23 @@ const (
 // Session is a grounded specification S = (D0, Σ, Im, te0): the
 // instance's rules are pre-instantiated once (the Instantiation step of
 // Section 5) so deduction, candidate checks and top-k searches are
-// cheap and repeatable. Sessions are not safe for concurrent use.
+// cheap and repeatable.
+//
+// The read-side methods — Deduce, DeduceFrom, Check, CheckBatch, TopK —
+// are safe for concurrent use: they run on the session's current
+// grounding version, which is immutable (race-tested in
+// race_test.go). AddTuples installs a NEW grounding version and must
+// not run concurrently with any other method; reads that started on
+// the previous version finish on it unaffected.
 type Session struct {
 	g *chase.Grounding
 }
 
 // NewSession validates the rules against the schemas and grounds the
 // specification. im may be nil when the rule set has no form-(2) rules.
+// Callers opening many sessions over one schema should build a
+// Groundwork once and use Groundwork.NewSession, which skips the
+// per-session rule re-validation.
 func NewSession(ie *model.EntityInstance, im *model.MasterRelation, rules *rule.Set) (*Session, error) {
 	g, err := chase.NewGrounding(chase.Spec{Ie: ie, Im: im, Rules: rules}, chase.Options{})
 	if err != nil {
@@ -70,6 +80,33 @@ func NewSession(ie *model.EntityInstance, im *model.MasterRelation, rules *rule.
 	}
 	return &Session{g: g}, nil
 }
+
+// AddTuples absorbs new evidence tuples into the session and re-grounds
+// incrementally: only the new-tuple pairs are instantiated and the
+// template-independent base chase resumes from the previous terminal
+// state (chase.Grounding.Extend), which is far cheaper than grounding
+// the grown instance from scratch. After AddTuples the session behaves
+// exactly as a fresh session over the full instance — Deduce, TopK,
+// Check and Stats outputs are byte-identical, conflict messages of
+// non-Church-Rosser specifications aside (enforced by
+// incremental_test.go). On error the session is left on its previous
+// version. AddTuples must not run concurrently with other methods.
+func (s *Session) AddTuples(tuples ...*model.Tuple) error {
+	g, err := s.g.Extend(tuples...)
+	if err != nil {
+		return err
+	}
+	s.g = g
+	return nil
+}
+
+// Version reports how many evidence deltas the session has absorbed
+// through AddTuples (0 for a fresh session).
+func (s *Session) Version() int { return s.g.Version() }
+
+// Instance returns the entity instance of the session's current
+// grounding version.
+func (s *Session) Instance() *model.EntityInstance { return s.g.Instance() }
 
 // Deduce runs the chase from the all-null template: it decides the
 // Church-Rosser property and, when it holds, returns the deduced target
@@ -119,6 +156,41 @@ func (s *Session) Interact(cfg framework.Config, oracle Oracle) (*framework.Outc
 // Grounding exposes the underlying grounding for advanced callers
 // (benchmarks, custom search strategies).
 func (s *Session) Grounding() *chase.Grounding { return s.g }
+
+// Groundwork is the schema-level part of session construction: the
+// rule set validated once against one (entity schema, master schema)
+// pair plus the compiled form-(2) index (chase.Shared). Callers that
+// repeatedly open sessions over the same schema — servers re-deducing
+// entities as evidence arrives, batch drivers — build one Groundwork
+// and stamp sessions out of it, skipping re-validation every time. A
+// Groundwork is immutable and safe for concurrent use.
+type Groundwork struct {
+	sh *chase.Shared
+}
+
+// NewGroundwork validates the rules against the schemas once. im may be
+// nil when the rule set has no form-(2) rules.
+func NewGroundwork(entity *model.Schema, im *model.MasterRelation, rules *rule.Set) (*Groundwork, error) {
+	sh, err := chase.NewShared(entity, im, rules)
+	if err != nil {
+		return nil, err
+	}
+	return &Groundwork{sh: sh}, nil
+}
+
+// NewSession grounds one entity instance on the prevalidated groundwork.
+// The instance must use the exact schema the groundwork was built for.
+func (gw *Groundwork) NewSession(ie *model.EntityInstance) (*Session, error) {
+	g, err := gw.sh.NewGrounding(ie, chase.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{g: g}, nil
+}
+
+// Shared exposes the underlying chase groundwork for internal callers
+// (the batch pipeline and its update stream).
+func (gw *Groundwork) Shared() *chase.Shared { return gw.sh }
 
 // ParseRules parses the textual rule language (see package ruledsl) and
 // validates the result against the schemas.

@@ -62,6 +62,28 @@ func (ie *EntityInstance) Tuples() []*Tuple { return ie.tuples }
 // Value returns tuple i's value at attribute position a.
 func (ie *EntityInstance) Value(i, a int) Value { return ie.tuples[i].At(a) }
 
+// Extend returns a new instance holding the receiver's tuples followed
+// by more. The receiver is unchanged — groundings, sessions and
+// checkers built on it keep reading it — and the tuples themselves are
+// shared, not copied. Every appended tuple must belong to the
+// instance's schema.
+func (ie *EntityInstance) Extend(more ...*Tuple) (*EntityInstance, error) {
+	out := &EntityInstance{
+		schema: ie.schema,
+		tuples: make([]*Tuple, len(ie.tuples), len(ie.tuples)+len(more)),
+	}
+	copy(out.tuples, ie.tuples)
+	for _, t := range more {
+		if t == nil {
+			return nil, fmt.Errorf("model: cannot extend instance with a nil tuple")
+		}
+		if _, err := out.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // Clone returns a deep copy of the instance.
 func (ie *EntityInstance) Clone() *EntityInstance {
 	out := NewEntityInstance(ie.schema)

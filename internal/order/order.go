@@ -295,6 +295,28 @@ func (r *Relation) Len() int {
 	return c
 }
 
+// Extend returns a new relation over n+m tuples: every derived pair of
+// r is carried over and the m appended tuples start with no pairs. The
+// receiver is unchanged — snapshots of it, and tracked clones restoring
+// from it, stay valid — which is what lets a grounding version absorb
+// new evidence tuples while in-flight checkers keep using the previous
+// version. The result is untracked; CloneTracked it to obtain dirty-row
+// restore against the extended base.
+func (r *Relation) Extend(m int) *Relation {
+	if m < 0 {
+		panic("order: Extend with negative growth")
+	}
+	out := New(r.n + m)
+	if out.w == r.w {
+		copy(out.rows, r.rows)
+		return out
+	}
+	for i := 0; i < r.n; i++ {
+		copy(out.rows[i*out.w:i*out.w+r.w], r.row(i))
+	}
+	return out
+}
+
 // Clone returns a deep copy of the relation (without dirty tracking).
 func (r *Relation) Clone() *Relation {
 	out := &Relation{n: r.n, w: r.w, rows: make([]uint64, len(r.rows))}
@@ -430,6 +452,16 @@ func (s *Set) CloneTracked() *Set {
 	out := &Set{n: s.n, attrs: s.attrs, rels: make([]*Relation, s.attrs)}
 	for i, r := range s.rels {
 		out.rels[i] = r.CloneTracked()
+	}
+	return out
+}
+
+// Extend returns a new set over n+m tuples with every relation's pairs
+// carried over; see Relation.Extend.
+func (s *Set) Extend(m int) *Set {
+	out := &Set{n: s.n + m, attrs: s.attrs, rels: make([]*Relation, s.attrs)}
+	for i, r := range s.rels {
+		out.rels[i] = r.Extend(m)
 	}
 	return out
 }

@@ -409,3 +409,77 @@ func TestCloneInto(t *testing.T) {
 		t.Error("CloneInto kept diverged pair")
 	}
 }
+
+// TestExtend: the append-row operation preserves every derived pair,
+// leaves the receiver untouched, and the result composes with closure
+// maintenance and dirty-row snapshots like any fresh relation.
+func TestExtend(t *testing.T) {
+	// Sizes straddling the 64-bit word boundary exercise the row
+	// re-striding path.
+	for _, n := range []int{3, 60, 64, 100} {
+		for _, m := range []int{1, 7, 64} {
+			r := New(n)
+			rng := rand.New(rand.NewSource(int64(n*1000 + m)))
+			for k := 0; k < 2*n; k++ {
+				r.Add(rng.Intn(n), rng.Intn(n))
+			}
+			beforePairs := r.Pairs()
+			ext := r.Extend(m)
+			if ext.Size() != n+m {
+				t.Fatalf("Extend(%d) of %d-relation has size %d", m, n, ext.Size())
+			}
+			for _, p := range beforePairs {
+				if !ext.Has(p.From, p.To) {
+					t.Fatalf("n=%d m=%d: pair (%d,%d) lost by Extend", n, m, p.From, p.To)
+				}
+			}
+			if ext.Len() != r.Len() {
+				t.Fatalf("n=%d m=%d: Extend added pairs: %d vs %d", n, m, ext.Len(), r.Len())
+			}
+			for i := n; i < n+m; i++ {
+				for j := 0; j < n+m; j++ {
+					if ext.Has(i, j) || ext.Has(j, i) {
+						t.Fatalf("n=%d m=%d: new tuple %d has pairs", n, m, i)
+					}
+				}
+			}
+			// Mutating the extension must not leak into the receiver.
+			ext.Add(n+m-1, 0)
+			if r.Len() != len(beforePairs) {
+				t.Fatalf("n=%d m=%d: Extend shares storage with the receiver", n, m)
+			}
+			if !ext.TransitiveOK() {
+				t.Fatalf("n=%d m=%d: extension lost transitive closure", n, m)
+			}
+			// Dirty-row snapshots against the extended base behave as
+			// against any base.
+			snap := ext.CloneTracked()
+			snap.Add(0, n+m-1)
+			snap.ResetFrom(ext)
+			for i := 0; i < n+m; i++ {
+				for j := 0; j < n+m; j++ {
+					if snap.Has(i, j) != ext.Has(i, j) {
+						t.Fatalf("n=%d m=%d: tracked clone of extension failed to restore", n, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSetExtend: Set.Extend extends every attribute's relation.
+func TestSetExtend(t *testing.T) {
+	s := NewSet(3, 5)
+	s.Attr(0).Add(0, 1)
+	s.Attr(2).Add(3, 4)
+	ext := s.Extend(2)
+	if ext.Size() != 7 || ext.Attrs() != 3 {
+		t.Fatalf("Extend shape: %d tuples, %d attrs", ext.Size(), ext.Attrs())
+	}
+	if !ext.Attr(0).Has(0, 1) || !ext.Attr(2).Has(3, 4) {
+		t.Fatal("Set.Extend lost pairs")
+	}
+	if ext.TotalPairs() != s.TotalPairs() {
+		t.Fatalf("Set.Extend pair counts: %d vs %d", ext.TotalPairs(), s.TotalPairs())
+	}
+}

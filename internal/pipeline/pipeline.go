@@ -204,16 +204,47 @@ func Stream(entities []*model.EntityInstance, cfg Config, sink func(Result) erro
 		sum.Elapsed = time.Since(start)
 		return sum, nil
 	}
-	schema := entities[0].Schema()
+	shared, err := chase.NewShared(entities[0].Schema(), cfg.Master, cfg.Rules)
+	if err != nil {
+		return sum, err
+	}
+	return streamShared(shared, entities, cfg, sink, start)
+}
+
+// RunShared is Run on a prebuilt schema-level groundwork (validated
+// rules + compiled form-(2) index): repeated batches over one schema
+// skip the per-call rule re-validation Stream performs. cfg.Master and
+// cfg.Rules are ignored in favour of the groundwork's own.
+func RunShared(shared *chase.Shared, entities []*model.EntityInstance, cfg Config) ([]Result, Summary, error) {
+	results := make([]Result, 0, len(entities))
+	sum, err := StreamShared(shared, entities, cfg, func(r Result) error {
+		results = append(results, r)
+		return nil
+	})
+	return results, sum, err
+}
+
+// StreamShared is Stream on a prebuilt schema-level groundwork; see
+// RunShared.
+func StreamShared(shared *chase.Shared, entities []*model.EntityInstance, cfg Config, sink func(Result) error) (Summary, error) {
+	start := time.Now()
+	var sum Summary
+	if len(entities) == 0 {
+		sum.Elapsed = time.Since(start)
+		return sum, nil
+	}
+	return streamShared(shared, entities, cfg, sink, start)
+}
+
+// streamShared is the worker-pool core behind Stream and StreamShared.
+func streamShared(shared *chase.Shared, entities []*model.EntityInstance, cfg Config, sink func(Result) error, start time.Time) (Summary, error) {
+	var sum Summary
+	schema := shared.Schema()
 	for i, ie := range entities {
 		if ie.Schema() != schema {
 			return sum, fmt.Errorf("pipeline: entity %d uses schema %s, batch uses %s",
 				i, ie.Schema().Name(), schema.Name())
 		}
-	}
-	shared, err := chase.NewShared(schema, cfg.Master, cfg.Rules)
-	if err != nil {
-		return sum, err
 	}
 
 	n := len(entities)
@@ -287,15 +318,26 @@ func runEntity(i int, ie *model.EntityInstance, shared *chase.Shared, cfg *Confi
 		out.Err = fmt.Errorf("pipeline: entity %d: %w", i, err)
 		return out
 	}
+	runGrounding(&out, g, cfg)
+	return out
+}
+
+// runGrounding deduces (and, per cfg, searches candidates) on an
+// existing grounding version; shared by the batch kernel and the update
+// stream, so a re-deduction after an evidence delta reports exactly
+// like a fresh batch entity.
+func runGrounding(out *Result, g *chase.Grounding, cfg *Config) {
+	out.Instance = g.Instance()
 	out.Deduction = g.Run(nil)
 	if !out.Deduction.CR || out.Deduction.Target.Complete() || cfg.TopK <= 0 {
-		return out
+		return
 	}
 	pref := cfg.Pref
 	pref.K = cfg.TopK
 	pref.Parallel = 0
 	var cands []topk.Candidate
 	var stats topk.Stats
+	var err error
 	switch cfg.Algo {
 	case AlgoRankJoinCT:
 		cands, stats, err = topk.RankJoinCT(g, out.Deduction.Target, pref)
@@ -305,12 +347,11 @@ func runEntity(i int, ie *model.EntityInstance, shared *chase.Shared, cfg *Confi
 		cands, stats, err = topk.TopKCT(g, out.Deduction.Target, pref)
 	}
 	if err != nil {
-		out.Err = fmt.Errorf("pipeline: entity %d: %w", i, err)
-		return out
+		out.Err = fmt.Errorf("pipeline: entity %d: %w", out.Index, err)
+		return
 	}
 	out.Candidates = cands
 	out.Stats = stats
-	return out
 }
 
 // Each runs f(i) for every i in [0, n) across w workers (w <= 0 means

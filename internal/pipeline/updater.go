@@ -1,0 +1,200 @@
+// The update stream is the incremental face of the pipeline: where
+// Run/Stream process a relation whose entities are fully known up
+// front, an Updater keeps one live grounding per entity and absorbs
+// evidence tuples as they arrive, re-deducing (and re-searching) only
+// the entities an update batch touches. Under the hood each delta runs
+// through chase.Grounding.Extend — delta Instantiation plus monotone
+// resumption of the base chase — so absorbing a tuple into an n-tuple
+// entity costs O(‖Σ‖·n) instead of the O(‖Σ‖·n²) rebuild, and every
+// re-deduction is byte-identical to a fresh batch over the accumulated
+// instance (updater_test.go enforces this).
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chase"
+	"repro/internal/model"
+)
+
+// Update is one evidence delta of the update stream: new tuples for the
+// entity identified by Key. Keys are caller-chosen routing identifiers
+// (an identifier column's value, an ER cluster id); a key never seen
+// before creates a new live entity.
+type Update struct {
+	Key    string
+	Tuples []*model.Tuple
+}
+
+// Updater routes evidence deltas to live per-entity grounding versions.
+// Apply serialises internally, so concurrent producers may call it,
+// but the per-batch semantics are those of a sequential stream of
+// batches. The zero value is unusable; create one with NewUpdater or
+// NewUpdaterShared.
+type Updater struct {
+	shared *chase.Shared
+	cfg    Config
+
+	mu   sync.Mutex
+	live map[string]*chase.Grounding
+	keys []string // insertion order, for deterministic enumeration
+}
+
+// NewUpdater validates cfg.Rules against the schema (and cfg.Master)
+// once and returns an empty update stream for entities of that schema.
+func NewUpdater(schema *model.Schema, cfg Config) (*Updater, error) {
+	shared, err := chase.NewShared(schema, cfg.Master, cfg.Rules)
+	if err != nil {
+		return nil, err
+	}
+	return NewUpdaterShared(shared, cfg), nil
+}
+
+// NewUpdaterShared builds an update stream on a prebuilt schema-level
+// groundwork; cfg.Master and cfg.Rules are ignored in favour of the
+// groundwork's own.
+func NewUpdaterShared(shared *chase.Shared, cfg Config) *Updater {
+	return &Updater{shared: shared, cfg: cfg, live: make(map[string]*chase.Grounding)}
+}
+
+// Len reports how many live entities the stream holds.
+func (u *Updater) Len() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.keys)
+}
+
+// Keys returns the live entity keys in first-seen order.
+func (u *Updater) Keys() []string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return append([]string(nil), u.keys...)
+}
+
+// Version reports how many deltas the keyed entity has absorbed (0 for
+// an entity created by its only batch so far, -1 for an unknown key).
+func (u *Updater) Version(key string) int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	g, ok := u.live[key]
+	if !ok {
+		return -1
+	}
+	return g.Version()
+}
+
+// Apply absorbs one batch of evidence deltas. Deltas are merged by key
+// (a batch may carry several updates for one entity; they apply in
+// batch order), each affected entity's grounding is extended — or
+// created, for new keys — and re-deduced concurrently on cfg.Workers
+// workers, and one Result per affected entity returns in first-
+// appearance order, with the Summary aggregated over them. Per-entity
+// failures report through Result.Err and never abort the batch, with
+// the same semantics per phase as the batch pipeline: when ABSORBING
+// the delta fails (a tuple of the wrong schema), the entity keeps its
+// previous grounding version, so the batch may be corrected and
+// retried; when absorption succeeds but the deduction's candidate
+// SEARCH fails (say, a check budget), the evidence is already in — the
+// version advances, Result.Deduction carries the chase outcome, and
+// retrying the same tuples would duplicate them (use Version to tell
+// the cases apart). Updates with an empty key fail the whole batch
+// before any work starts, as key routing is structural.
+func (u *Updater) Apply(updates []Update) ([]Result, Summary, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	start := time.Now()
+	var sum Summary
+	if len(updates) == 0 {
+		sum.Elapsed = time.Since(start)
+		return nil, sum, nil
+	}
+	merged := make(map[string][]*model.Tuple, len(updates))
+	var order []string
+	for i, up := range updates {
+		if up.Key == "" {
+			return nil, sum, fmt.Errorf("pipeline: update %d has an empty key", i)
+		}
+		if _, ok := merged[up.Key]; !ok {
+			order = append(order, up.Key)
+		}
+		merged[up.Key] = append(merged[up.Key], up.Tuples...)
+	}
+
+	results := make([]Result, len(order))
+	next := make([]*chase.Grounding, len(order))
+	err := Each(u.cfg.workers(), len(order), func(i int) error {
+		key := order[i]
+		out := &results[i]
+		out.Index = i
+		g, live := u.live[key]
+		var err error
+		if live {
+			out.Instance = g.Instance()
+			g, err = g.Extend(merged[key]...)
+		} else {
+			// Set Instance up front so even a failed creation honours
+			// the Result contract (callers format r.Instance).
+			empty := model.NewEntityInstance(u.shared.Schema())
+			out.Instance = empty
+			var ie *model.EntityInstance
+			ie, err = empty.Extend(merged[key]...)
+			if err == nil {
+				out.Instance = ie
+				g, err = u.shared.NewGrounding(ie, u.cfg.Options)
+			}
+		}
+		if err != nil {
+			out.Err = fmt.Errorf("pipeline: entity %q: %w", key, err)
+			return nil // per-entity failure; the batch continues
+		}
+		next[i] = g
+		runGrounding(out, g, &u.cfg)
+		return nil
+	})
+	if err != nil {
+		return nil, sum, err
+	}
+	for i, key := range order {
+		if next[i] == nil {
+			continue // failed entity keeps its previous version
+		}
+		if _, ok := u.live[key]; !ok {
+			u.keys = append(u.keys, key)
+		}
+		u.live[key] = next[i]
+	}
+	for i := range results {
+		sum.add(&results[i], u.shared.Schema().Arity())
+	}
+	sum.Elapsed = time.Since(start)
+	return results, sum, nil
+}
+
+// Snapshot re-deduces every live entity (concurrently, per cfg) and
+// returns one Result per entity in first-seen key order, with keys
+// aligned by index — the "where does the whole stream stand" view a
+// caller needs after a run of deltas. Runs are cheap: each entity's
+// grounding already holds its chased base state.
+func (u *Updater) Snapshot() ([]string, []Result, Summary, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	start := time.Now()
+	var sum Summary
+	keys := append([]string(nil), u.keys...)
+	results := make([]Result, len(keys))
+	err := Each(u.cfg.workers(), len(keys), func(i int) error {
+		results[i].Index = i
+		runGrounding(&results[i], u.live[keys[i]], &u.cfg)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, sum, err
+	}
+	for i := range results {
+		sum.add(&results[i], u.shared.Schema().Arity())
+	}
+	sum.Elapsed = time.Since(start)
+	return keys, results, sum, nil
+}

@@ -1,0 +1,248 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/topk"
+)
+
+// TestUpdaterMatchesBatch drives the central update-stream guarantee:
+// after any sequence of Apply batches, every live entity's Result is
+// byte-identical to a fresh batch Run over the accumulated instances.
+func TestUpdaterMatchesBatch(t *testing.T) {
+	ds := testDataset(t, 12)
+	cfg := Config{Master: ds.Master, Rules: ds.Rules, Workers: 4, TopK: 3,
+		Pref: topk.Preference{MaxChecks: 2000}}
+	u, err := NewUpdater(ds.Entities[0].Instance.Schema(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed each entity's tuples in three waves: first tuple, middle,
+	// remainder — interleaved across entities like live traffic.
+	accumulated := map[string][]*model.Tuple{}
+	var waves [3][]Update
+	for i, e := range ds.Entities {
+		key := fmt.Sprintf("e%02d", i)
+		tuples := e.Instance.Tuples()
+		cut1, cut2 := 1, 1+(len(tuples)-1)/2
+		waves[0] = append(waves[0], Update{Key: key, Tuples: tuples[:cut1]})
+		if cut1 < cut2 {
+			waves[1] = append(waves[1], Update{Key: key, Tuples: tuples[cut1:cut2]})
+		}
+		if cut2 < len(tuples) {
+			waves[2] = append(waves[2], Update{Key: key, Tuples: tuples[cut2:]})
+		}
+	}
+	for w, ups := range waves {
+		results, sum, err := u.Apply(ups)
+		if err != nil {
+			t.Fatalf("wave %d: %v", w, err)
+		}
+		if len(results) != len(ups) || sum.Entities != len(ups) {
+			t.Fatalf("wave %d: %d results, summary %d, want %d", w, len(results), sum.Entities, len(ups))
+		}
+		for _, up := range ups {
+			accumulated[up.Key] = append(accumulated[up.Key], up.Tuples...)
+		}
+		// Every result of this wave must equal a fresh batch run over
+		// the entities' accumulated instances.
+		var ents []*model.EntityInstance
+		for i := range results {
+			ie := model.NewEntityInstance(ds.Entities[0].Instance.Schema())
+			for _, tp := range accumulated[ups[i].Key] {
+				ie.MustAdd(tp)
+			}
+			ents = append(ents, ie)
+		}
+		fresh, _, err := Run(ents, cfg)
+		if err != nil {
+			t.Fatalf("wave %d fresh run: %v", w, err)
+		}
+		for i := range results {
+			if got, want := fingerprint(results[i]), fingerprint(fresh[i]); got != want {
+				t.Fatalf("wave %d entity %s:\nincremental: %s\nfresh batch: %s",
+					w, ups[i].Key, got, want)
+			}
+		}
+	}
+	if u.Len() != len(ds.Entities) {
+		t.Fatalf("updater holds %d entities, want %d", u.Len(), len(ds.Entities))
+	}
+	for i := range ds.Entities {
+		key := fmt.Sprintf("e%02d", i)
+		if v := u.Version(key); v < 0 {
+			t.Fatalf("entity %s unknown after the stream", key)
+		}
+	}
+
+	// Snapshot re-deduces everything and must agree with a full fresh
+	// batch over the final instances, in first-seen key order.
+	keys, snap, sum, err := u.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Entities != len(ds.Entities) {
+		t.Fatalf("snapshot summary: %d entities", sum.Entities)
+	}
+	var finals []*model.EntityInstance
+	for _, key := range keys {
+		ie := model.NewEntityInstance(ds.Entities[0].Instance.Schema())
+		for _, tp := range accumulated[key] {
+			ie.MustAdd(tp)
+		}
+		finals = append(finals, ie)
+	}
+	fresh, _, err := Run(finals, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap {
+		if got, want := fingerprint(snap[i]), fingerprint(fresh[i]); got != want {
+			t.Fatalf("snapshot %s:\nincremental: %s\nfresh batch: %s", keys[i], got, want)
+		}
+	}
+}
+
+// TestUpdaterMergesSameKey: several updates for one key in one batch
+// apply in order and produce one result.
+func TestUpdaterMergesSameKey(t *testing.T) {
+	ds := testDataset(t, 1)
+	ie := ds.Entities[0].Instance
+	if ie.Size() < 3 {
+		t.Skip("generated entity too small")
+	}
+	cfg := Config{Master: ds.Master, Rules: ds.Rules}
+	u, err := NewUpdater(ie.Schema(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := u.Apply([]Update{
+		{Key: "e", Tuples: ie.Tuples()[:1]},
+		{Key: "e", Tuples: ie.Tuples()[1:]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("merged batch produced %d results", len(results))
+	}
+	if results[0].Instance.Size() != ie.Size() {
+		t.Fatalf("merged instance holds %d tuples, want %d", results[0].Instance.Size(), ie.Size())
+	}
+	if u.Version("e") != 0 {
+		t.Fatalf("one creating batch should leave version 0, got %d", u.Version("e"))
+	}
+}
+
+// TestUpdaterBadDeltaKeepsVersion: a delta that fails (foreign-schema
+// tuple) reports through Result.Err, does not abort the batch, and the
+// entity keeps answering from its previous version.
+func TestUpdaterBadDeltaKeepsVersion(t *testing.T) {
+	ds := testDataset(t, 2)
+	schema := ds.Entities[0].Instance.Schema()
+	cfg := Config{Master: ds.Master, Rules: ds.Rules}
+	u, err := NewUpdater(schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Apply([]Update{
+		{Key: "a", Tuples: ds.Entities[0].Instance.Tuples()},
+		{Key: "b", Tuples: ds.Entities[1].Instance.Tuples()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := u.Version("a")
+
+	other := model.MustSchema("other", "x")
+	results, sum, err := u.Apply([]Update{
+		{Key: "a", Tuples: []*model.Tuple{model.MustTuple(other, model.I(1))}},
+		{Key: "b", Tuples: ds.Entities[0].Instance.Tuples()[:1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 1 {
+		t.Fatalf("summary errors = %d, want 1", sum.Errors)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), `entity "a"`) {
+		t.Fatalf("bad delta err = %v", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("good sibling failed: %v", results[1].Err)
+	}
+	if u.Version("a") != before {
+		t.Fatalf("failed delta advanced the version: %d -> %d", before, u.Version("a"))
+	}
+
+	// A failed creation (unseen key, bad tuple) must still honour the
+	// Result contract: Instance is never nil, and no entity appears.
+	results, _, err = u.Apply([]Update{
+		{Key: "fresh", Tuples: []*model.Tuple{model.MustTuple(other, model.I(2))}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || results[0].Instance == nil {
+		t.Fatalf("failed creation: err=%v instance=%v", results[0].Err, results[0].Instance)
+	}
+	if u.Version("fresh") != -1 {
+		t.Fatal("failed creation registered a live entity")
+	}
+}
+
+// TestUpdaterEmptyKeyRejected: key routing is structural, so an empty
+// key fails the batch before any work starts.
+func TestUpdaterEmptyKeyRejected(t *testing.T) {
+	ds := testDataset(t, 1)
+	u, err := NewUpdater(ds.Entities[0].Instance.Schema(),
+		Config{Master: ds.Master, Rules: ds.Rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Apply([]Update{{Key: "", Tuples: ds.Entities[0].Instance.Tuples()}}); err == nil {
+		t.Fatal("empty key was accepted")
+	}
+	if u.Len() != 0 {
+		t.Fatal("rejected batch created entities")
+	}
+}
+
+// TestUpdaterWorkerIndependence: the worker count never changes any
+// per-entity output of an Apply batch.
+func TestUpdaterWorkerIndependence(t *testing.T) {
+	ds := testDataset(t, 10)
+	schema := ds.Entities[0].Instance.Schema()
+	var base []string
+	for _, w := range []int{1, 4, 16} {
+		cfg := Config{Master: ds.Master, Rules: ds.Rules, Workers: w, TopK: 3}
+		u, err := NewUpdater(schema, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ups []Update
+		for i, e := range ds.Entities {
+			ups = append(ups, Update{Key: fmt.Sprintf("e%d", i), Tuples: e.Instance.Tuples()})
+		}
+		results, _, err := u.Apply(ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fps []string
+		for _, r := range results {
+			fps = append(fps, fingerprint(r))
+		}
+		if base == nil {
+			base = fps
+			continue
+		}
+		for i := range fps {
+			if fps[i] != base[i] {
+				t.Fatalf("workers=%d entity %d:\n%s\n%s", w, i, fps[i], base[i])
+			}
+		}
+	}
+}

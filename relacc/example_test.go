@@ -59,3 +59,55 @@ C-99,7,5.00
 	// complete: (C-99, 7, 5)
 	// 3/3 complete, coverage 100%
 }
+
+// ExampleNewUpdater feeds the same product feed as a live stream of
+// evidence deltas: the base relation seeds per-entity sessions, a
+// later batch routes new revisions to them by sku, and only the
+// touched entities are re-deduced — incrementally, not by rebuilding —
+// with results identical to a fresh batch over the accumulated tuples.
+func ExampleNewUpdater() {
+	schema, err := relacc.NewSchema("feed", "sku", "rev", "price")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := relacc.ParseRules(`
+		rev:   t1[rev] < t2[rev] -> t1 <= t2 @ rev
+		price: t1 < t2 @ rev , t2[price] != null -> t1 <= t2 @ price
+	`, schema, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	updater, err := relacc.NewUpdater(schema, relacc.BatchConfig{Rules: rules})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mk := func(sku string, rev int64, price float64) *relacc.Tuple {
+		t, err := relacc.TupleOf(schema, relacc.S(sku), relacc.I(rev), relacc.F(price))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return t
+	}
+	if _, _, err := updater.Apply([]relacc.Update{
+		{Key: "A-17", Tuples: []*relacc.Tuple{mk("A-17", 1, 9.99), mk("A-17", 2, 10.49)}},
+		{Key: "B-23", Tuples: []*relacc.Tuple{mk("B-23", 1, 24.00)}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A new revision for A-17 arrives: only A-17 is re-deduced.
+	results, _, err := updater.Apply([]relacc.Update{
+		{Key: "A-17", Tuples: []*relacc.Tuple{mk("A-17", 3, 9.49)}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s: %s\n", r.Status(), r.Deduction.Target)
+	}
+	fmt.Printf("%d live entities\n", updater.Len())
+	// Output:
+	// complete: (A-17, 3, 9.49)
+	// 2 live entities
+}

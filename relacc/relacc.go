@@ -18,6 +18,20 @@
 //     Summary. Per-entity output is identical to a sequential Session
 //     run regardless of the worker count.
 //
+// Evidence need not be complete up front. Session.AddTuples absorbs
+// new tuples into a live session through delta instantiation — only
+// the new-tuple pairs are ground and the chase resumes from its
+// previous state, so an update costs O(‖Σ‖·d·n) instead of the
+// O(‖Σ‖·n²) rebuild — and subsequent Deduce/TopK/Check answers are
+// byte-identical to a fresh session over the full instance (only a
+// non-Church-Rosser conflict message may differ). NewUpdater
+// scales the same idea to a keyed stream of deltas over many live
+// entities (the update-stream mode of the batch pipeline; cmd/relacc's
+// append mode is its command-line face). NewGroundwork hoists the
+// schema-level work (rule validation, form-(2) index compilation) out
+// of session construction for callers that open many sessions or runs
+// over one schema.
+//
 // Raw relations enter through ReadRelation (CSV) and are grouped into
 // entity instances either by an existing identifier column (GroupBy) or
 // by similarity-based entity resolution (Resolve). Rules are written in
@@ -84,7 +98,19 @@ type (
 	Result = pipeline.Result
 	// Summary aggregates a batch's outcomes and coverage.
 	Summary = pipeline.Summary
+	// Update is one evidence delta of an update stream: new tuples for
+	// the entity identified by Key.
+	Update = pipeline.Update
+	// Updater routes evidence deltas to live per-entity sessions; see
+	// NewUpdater.
+	Updater = pipeline.Updater
 )
+
+// Groundwork is the schema-level part of session and batch
+// construction — the rule set validated once plus the compiled
+// form-(2) index — so repeated sessions, runs and update streams over
+// one schema skip re-validation; see NewGroundwork.
+type Groundwork = core.Groundwork
 
 // Top-k algorithm choices.
 const (
@@ -116,10 +142,28 @@ func NewSchema(name string, attrs ...string) (*Schema, error) {
 	return model.NewSchema(name, attrs...)
 }
 
+// NewTuple creates an all-null tuple of the schema; fill it with Set.
+func NewTuple(s *Schema) *Tuple { return model.NewTuple(s) }
+
+// TupleOf builds a tuple from positional values; len(vals) must equal
+// the schema's arity. Programmatic construction pairs with the update
+// APIs (Session.AddTuples, Updater.Apply), which absorb tuples that
+// never passed through a CSV.
+func TupleOf(s *Schema, vals ...Value) (*Tuple, error) { return model.TupleOf(s, vals...) }
+
+// NewEntityInstance creates an empty entity instance of the schema;
+// fill it with its Add/AddValues methods.
+func NewEntityInstance(s *Schema) *EntityInstance { return model.NewEntityInstance(s) }
+
+// NewMasterRelation creates an empty master relation of the schema.
+func NewMasterRelation(s *Schema) *MasterRelation { return model.NewMasterRelation(s) }
+
 // NewSession validates the rules against the schemas and grounds ONE
 // entity instance. im may be nil when the rule set has no form-(2)
-// rules. Sessions are not safe for concurrent use; for many entities
-// use Run, which parallelises safely.
+// rules. The read-side session methods (Deduce, Check, CheckBatch,
+// TopK) are safe for concurrent use; AddTuples installs a new grounding
+// version and must not overlap any other call. For many entities use
+// Run, which parallelises across entities.
 func NewSession(ie *EntityInstance, im *MasterRelation, rules *RuleSet) (*Session, error) {
 	return core.NewSession(ie, im, rules)
 }
@@ -147,6 +191,40 @@ func Run(entities []*EntityInstance, cfg BatchConfig) ([]Result, Summary, error)
 // A sink error stops the batch early.
 func Stream(entities []*EntityInstance, cfg BatchConfig, sink func(Result) error) (Summary, error) {
 	return pipeline.Stream(entities, cfg, sink)
+}
+
+// NewGroundwork validates the rules against the schemas once and
+// returns the reusable schema-level groundwork. im may be nil when the
+// rule set has no form-(2) rules. Use Groundwork.NewSession for
+// per-entity sessions, and RunWith / StreamWith / NewUpdaterWith for
+// batches and update streams that skip per-call re-validation.
+func NewGroundwork(entity *Schema, im *MasterRelation, rules *RuleSet) (*Groundwork, error) {
+	return core.NewGroundwork(entity, im, rules)
+}
+
+// RunWith is Run on a prebuilt Groundwork: cfg.Master and cfg.Rules are
+// ignored in favour of the groundwork's own.
+func RunWith(gw *Groundwork, entities []*EntityInstance, cfg BatchConfig) ([]Result, Summary, error) {
+	return pipeline.RunShared(gw.Shared(), entities, cfg)
+}
+
+// StreamWith is Stream on a prebuilt Groundwork; see RunWith.
+func StreamWith(gw *Groundwork, entities []*EntityInstance, cfg BatchConfig, sink func(Result) error) (Summary, error) {
+	return pipeline.StreamShared(gw.Shared(), entities, cfg, sink)
+}
+
+// NewUpdater opens an update stream: live per-entity sessions keyed by
+// caller-chosen identifiers, each absorbing evidence deltas through
+// incremental re-grounding and re-deducing on Apply. Results are
+// byte-identical to fresh batch runs over the accumulated instances.
+func NewUpdater(schema *Schema, cfg BatchConfig) (*Updater, error) {
+	return pipeline.NewUpdater(schema, cfg)
+}
+
+// NewUpdaterWith is NewUpdater on a prebuilt Groundwork; cfg.Master and
+// cfg.Rules are ignored in favour of the groundwork's own.
+func NewUpdaterWith(gw *Groundwork, cfg BatchConfig) *Updater {
+	return pipeline.NewUpdaterShared(gw.Shared(), cfg)
 }
 
 // ReadRelation parses CSV (first row = attribute names) into a schema
