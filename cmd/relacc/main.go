@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/csvio"
@@ -298,7 +299,7 @@ func runBatch(a batchArgs) {
 			settled = append(settled, target)
 		}
 		if a.verbose || target == nil {
-			printEntityLine(fmt.Sprintf("%d", r.Index), r)
+			printEntityLine(fmt.Sprintf("%d", r.Index), r, a.verbose)
 		}
 		return nil
 	})
@@ -380,7 +381,7 @@ func runAppend(a appendArgs) {
 	fmt.Printf("base: %d tuples grouped into %d entities\n", len(baseTuples), len(baseUps))
 	if a.verbose {
 		for i, r := range baseResults {
-			printEntityLine(baseLabels[i], r)
+			printEntityLine(baseLabels[i], r, true)
 		}
 	}
 	fmt.Println("base:", baseSum.String())
@@ -401,7 +402,7 @@ func runAppend(a appendArgs) {
 	fmt.Printf("delta: %d tuples touched %d entities (%d new); re-deduced targets:\n",
 		len(deltaTuples), len(deltaUps), newKeys)
 	for i, r := range deltaResults {
-		printEntityLine(deltaLabels[i], r)
+		printEntityLine(deltaLabels[i], r, a.verbose)
 	}
 	fmt.Println("delta:", deltaSum.String())
 
@@ -485,7 +486,10 @@ func writeSettled(path string, schema *model.Schema, settled []*model.Tuple, ent
 
 // printEntityLine renders one per-entity verdict; batch labels entities
 // by index, append by key.
-func printEntityLine(label string, r pipeline.Result) {
+// printEntityLine reports one entity's outcome; withTiming (verbose
+// mode) appends the per-entity wall-clock time (pipeline.Result.Elapsed)
+// so slow entities stand out inside an otherwise fast batch.
+func printEntityLine(label string, r pipeline.Result, withTiming bool) {
 	target := settledTarget(r)
 	line := fmt.Sprintf("entity %-12s [%d tuples]  %-17s", label, r.Instance.Size(), r.Status())
 	switch {
@@ -497,6 +501,9 @@ func printEntityLine(label string, r pipeline.Result) {
 		line += " " + target.String()
 	default:
 		line += " " + r.Deduction.Target.String()
+	}
+	if withTiming {
+		line += fmt.Sprintf("  (%s)", r.Elapsed.Round(time.Microsecond))
 	}
 	fmt.Println(line)
 }

@@ -14,7 +14,10 @@
 // a worker pool, and the update stream absorbs evidence deltas into
 // live entities incrementally — re-deducing only what a delta touches,
 // with targets, verdicts, candidates and stats byte-identical to a
-// from-scratch run.
+// from-scratch run. Internally the deduction core is
+// dictionary-encoded: every distinct attribute value is interned once
+// per schema (model.Dict) and the chase, trigger index and candidate
+// checks run over dense integer value IDs.
 //
 // Start at package relacc, the public API: per-entity Sessions
 // (relacc.NewSession, Session.AddTuples), multi-entity batches

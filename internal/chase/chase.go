@@ -44,6 +44,19 @@
 // replays template-dependent work; this is what makes the thousands of
 // candidate checks issued by the top-k algorithms affordable.
 //
+// Values are dictionary-encoded: a schema-scoped model.Dict (owned by
+// the Shared groundwork, so a whole batch shares it) interns every
+// distinct value once, and the deduction core runs on dense uint32
+// IDs — instance value rows, the ϕ8/ϕ9 equality classes, form-(2)
+// trigger keys (packed attr<<32|valueID uint64s), target-premise
+// firing and the engine's te row all compare IDs instead of hashing
+// model.Value structs. Candidate templates assembled by the top-k
+// search carry cached ID rows, so a check never probes the dictionary.
+// IDs equate values up to model.Value.Norm — the same classes the Key
+// strings define — and are append-only: Extend interns delta values
+// into the same dictionary without invalidating any ID an earlier
+// version issued (DESIGN.md invariant 3a).
+//
 // On top of the shared base state, checks are pooled and parallel. A
 // Checker keeps one run engine alive across checks: its buffers
 // (order matrices, λ counts, premise counters, dead/pushed flags, the
@@ -134,11 +147,12 @@ const (
 
 // resid is one unresolved premise of a ground step.
 type resid struct {
-	kind residKind
-	attr int32
-	i, j int32 // order fact
-	op   rule.Op
-	val  model.Value // target comparison operand
+	kind  residKind
+	attr  int32
+	i, j  int32 // order fact
+	op    rule.Op
+	val   model.Value // target comparison operand
+	valID uint32      // dictionary ID of val (0 = null), for Eq/Ne firing
 }
 
 // groundStep is one partially evaluated rule application φ ∈ Γ.
@@ -164,21 +178,28 @@ type form2Entry struct {
 	rowIdx  int32
 }
 
-// form2Key indexes a pending condition te[attr] = want. The value is
-// stored normalized (model.Value.Norm) so key construction on the
-// chase hot path allocates nothing.
-type form2Key struct {
-	attr int32
-	val  model.Value
+// f2Key packs a pending condition te[attr] = want into a uint64 map
+// key: the attribute position in the high half, the want value's
+// dictionary ID in the low half. Key construction on the chase hot
+// path is two shifts — no value hashing, no allocation.
+func f2Key(attr int32, valID uint32) uint64 {
+	return uint64(attr)<<32 | uint64(valID)
 }
 
-// compiledForm2 is a form-(2) rule with attribute references resolved to
-// positions.
+// compiledForm2 is a form-(2) rule with attribute references resolved
+// to positions and every master-side comparison value pre-interned.
 type compiledForm2 struct {
 	name  string
 	conds []compiledCond
 	tgt   int32 // entity schema position of the consequence attribute
 	src   int32 // master schema position of the consequence source
+	// condIDs[row][cond] is the dictionary ID of the value cond wants
+	// te to carry when grounded on master row (0 = null master value:
+	// never satisfiable); consID[row] is the ID of the consequence
+	// value tm[src]. Both are filled at grounding, so condition
+	// matching during a Run is pure integer comparison.
+	condIDs [][]uint32
+	consID  []uint32
 }
 
 // compiledCond is one te[A] = X condition with resolved positions
@@ -193,44 +214,52 @@ type compiledCond struct {
 // form2Index is the lazily-grounded form-(2) rule state. It depends only
 // on the entity schema, the master relation and the rule set — not on
 // the entity instance — so it is memoised and shared across the many
-// per-entity groundings a dataset run creates.
+// per-entity groundings a dataset run creates. Its trigger keys are
+// f2Key-packed (attr, value-ID) pairs, so the index is bound to the
+// value dictionary it was grounded with.
 type form2Index struct {
 	rules []compiledForm2
-	trig  map[form2Key][]form2Entry
+	trig  map[uint64][]form2Entry
 	zero  []form2Entry // condition-free entries, enforced at Run start
 }
 
-// form2Memo is a single-slot cache of the last form2Index built,
-// keyed by pointer identity of its inputs.
+// form2Memo is a single-slot cache of the last form2Index built, keyed
+// by pointer identity of its inputs. The value dictionary is cached
+// with the index: the index's trigger keys embed the dictionary's IDs,
+// so the two only make sense as a pair.
 var form2Memo struct {
 	sync.Mutex
 	schema *model.Schema
 	im     *model.MasterRelation
 	rules  *rule.Set
 	idx    *form2Index
+	dict   *model.Dict
 }
 
-// form2IndexFor returns the (possibly cached) form-2 index.
-func form2IndexFor(schema *model.Schema, im *model.MasterRelation, rules *rule.Set) *form2Index {
+// form2IndexFor returns the (possibly cached) form-2 index together
+// with the value dictionary its trigger keys refer to.
+func form2IndexFor(schema *model.Schema, im *model.MasterRelation, rules *rule.Set) (*form2Index, *model.Dict) {
 	form2Memo.Lock()
 	if form2Memo.idx != nil && form2Memo.schema == schema &&
 		form2Memo.im == im && form2Memo.rules == rules {
-		idx := form2Memo.idx
+		idx, dict := form2Memo.idx, form2Memo.dict
 		form2Memo.Unlock()
-		return idx
+		return idx, dict
 	}
 	form2Memo.Unlock()
 
-	idx := &form2Index{trig: make(map[form2Key][]form2Entry)}
+	dict := model.NewDict()
+	idx := &form2Index{trig: make(map[uint64][]form2Entry)}
 	for _, r := range rules.Rules() {
 		if f, ok := r.(*rule.Form2); ok {
-			idx.ground(schema, im, f)
+			idx.ground(schema, im, f, dict)
 		}
 	}
 	form2Memo.Lock()
-	form2Memo.schema, form2Memo.im, form2Memo.rules, form2Memo.idx = schema, im, rules, idx
+	form2Memo.schema, form2Memo.im, form2Memo.rules = schema, im, rules
+	form2Memo.idx, form2Memo.dict = idx, dict
 	form2Memo.Unlock()
-	return idx
+	return idx, dict
 }
 
 // corrRule is a compiled correlated-attribute rule: when a pair is
@@ -265,10 +294,18 @@ type Grounding struct {
 	nattr     int
 	useAxioms bool
 
-	valKey      [][]string              // [attr][tuple] equality key ("" for null)
-	isNull      [][]bool                // [attr][tuple]
-	valueGroups []map[model.Value][]int // [attr][normalized value] -> tuple indices
-	vals        [][]model.Value         // [attr][tuple]
+	// dict is the schema-scoped value dictionary shared by every
+	// grounding stamped from one Shared (and by every version of this
+	// grounding — Extend interns delta values into the same dict, and
+	// the dict's append-only protocol keeps all previously issued IDs
+	// valid). All hot-path value comparisons below are ID comparisons
+	// against it.
+	dict  *model.Dict
+	valID [][]uint32      // [attr][tuple] dictionary ID (0 = null)
+	vals  [][]model.Value // [attr][tuple]
+	// groups[attr] indexes the non-null tuples of an attribute by value
+	// ID (the paper's value-equality classes, feeding axioms ϕ8/ϕ9).
+	groups []idGroups
 
 	steps      []groundStep
 	orderTrig  map[uint64][]predRef
@@ -336,6 +373,12 @@ func (g *Grounding) Master() *model.MasterRelation { return g.im }
 // Schema returns the entity schema.
 func (g *Grounding) Schema() *model.Schema { return g.schema }
 
+// Dict returns the schema-scoped value dictionary this grounding's IDs
+// refer to. It is shared by every grounding of one Shared and by every
+// version produced by Extend; callers (the top-k search) use it to
+// pre-intern candidate values so checks never hash a value.
+func (g *Grounding) Dict() *model.Dict { return g.dict }
+
 // GroundSteps returns |Γ|, the number of materialised ground steps
 // (zero-premise order steps are folded into the base state and not
 // counted).
@@ -385,37 +428,169 @@ func (g *Grounding) ownLayer() (trigLayer, bool) {
 	return trigLayer{orderTrig: g.orderTrig, targetTrig: g.targetTrig}, has
 }
 
+// idGroups indexes the non-null tuples of one attribute by value ID:
+// ids is sorted ascending and members[k] lists the tuple indices
+// carrying ids[k], in ascending index order (the same member order the
+// old map-of-Value representation produced, which the deterministic
+// base-chase seeding relies on).
+type idGroups struct {
+	ids     []uint32
+	members [][]int32
+}
+
+// find returns the tuple indices carrying value id (nil when no tuple
+// does). Groups per attribute are few, so a branch-light binary search
+// beats hashing a 48-byte Value — and allocates nothing.
+func (gr *idGroups) find(id uint32) []int32 {
+	lo, hi := 0, len(gr.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if gr.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(gr.ids) && gr.ids[lo] == id {
+		return gr.members[lo]
+	}
+	return nil
+}
+
+// extend returns the groups over the grown ID row ids (the receiver
+// covers the first oldN entries). True copy-on-append: a group gaining
+// no member shares its member slice with the parent, so the parent —
+// which in-flight checkers on the old grounding version may still be
+// reading — is never written.
+func (gr *idGroups) extend(ids []uint32, oldN int) idGroups {
+	type pr struct {
+		id  uint32
+		idx int32
+	}
+	var added []pr
+	for i := oldN; i < len(ids); i++ {
+		if ids[i] != model.NullID {
+			added = append(added, pr{ids[i], int32(i)})
+		}
+	}
+	if len(added) == 0 {
+		return *gr
+	}
+	sort.Slice(added, func(x, y int) bool {
+		if added[x].id != added[y].id {
+			return added[x].id < added[y].id
+		}
+		return added[x].idx < added[y].idx
+	})
+	grown := 0
+	for k := 0; k < len(added); {
+		id := added[k].id
+		for k < len(added) && added[k].id == id {
+			k++
+		}
+		grown++
+	}
+	out := idGroups{
+		ids:     make([]uint32, 0, len(gr.ids)+grown),
+		members: make([][]int32, 0, len(gr.ids)+grown),
+	}
+	gi, k := 0, 0
+	for gi < len(gr.ids) || k < len(added) {
+		switch {
+		case k >= len(added) || (gi < len(gr.ids) && gr.ids[gi] < added[k].id):
+			// Untouched group: share the parent's member slice.
+			out.ids = append(out.ids, gr.ids[gi])
+			out.members = append(out.members, gr.members[gi])
+			gi++
+		default:
+			id := added[k].id
+			start := k
+			for k < len(added) && added[k].id == id {
+				k++
+			}
+			var old []int32
+			if gi < len(gr.ids) && gr.ids[gi] == id {
+				old = gr.members[gi]
+				gi++
+			}
+			// Old members (all < oldN) then new ones keeps ascending
+			// tuple order; exact capacity so the slice is never shared
+			// with spare room a later version could append into.
+			nm := make([]int32, 0, len(old)+k-start)
+			nm = append(nm, old...)
+			for x := start; x < k; x++ {
+				nm = append(nm, added[x].idx)
+			}
+			out.ids = append(out.ids, id)
+			out.members = append(out.members, nm)
+		}
+	}
+	return out
+}
+
+// buildGroups groups tuple indices by their value ID. All member
+// slices share one backing array; members within a group are in
+// ascending tuple order.
+func buildGroups(ids []uint32) idGroups {
+	idx := make([]int32, 0, len(ids))
+	for i, id := range ids {
+		if id != model.NullID {
+			idx = append(idx, int32(i))
+		}
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		a, b := ids[idx[x]], ids[idx[y]]
+		if a != b {
+			return a < b
+		}
+		return idx[x] < idx[y]
+	})
+	var out idGroups
+	for start := 0; start < len(idx); {
+		id := ids[idx[start]]
+		end := start
+		for end < len(idx) && ids[idx[end]] == id {
+			end++
+		}
+		out.ids = append(out.ids, id)
+		out.members = append(out.members, idx[start:end:end])
+		start = end
+	}
+	return out
+}
+
 func (g *Grounding) indexValues() {
 	n, na := g.n, g.nattr
-	g.valKey = make([][]string, na)
-	g.isNull = make([][]bool, na)
+	g.valID = make([][]uint32, na)
 	g.vals = make([][]model.Value, na)
-	g.valueGroups = make([]map[model.Value][]int, na)
+	g.groups = make([]idGroups, na)
 	g.targetTrig = make([][]predRef, na)
 	g.corrs = make([][]corrRule, na)
 	for a := 0; a < na; a++ {
-		g.valKey[a] = make([]string, n)
-		g.isNull[a] = make([]bool, n)
+		g.valID[a] = make([]uint32, n)
 		g.vals[a] = make([]model.Value, n)
-		g.valueGroups[a] = make(map[model.Value][]int)
 		for i := 0; i < n; i++ {
 			v := g.ie.Value(i, a)
 			g.vals[a][i] = v
-			if v.IsNull() {
-				g.isNull[a][i] = true
-				g.valKey[a][i] = ""
-				continue
+			if !v.IsNull() {
+				g.valID[a][i] = g.dict.Intern(v)
 			}
-			g.valKey[a][i] = v.Key()
-			nv := v.Norm()
-			g.valueGroups[a][nv] = append(g.valueGroups[a][nv], i)
 		}
+		g.groups[a] = buildGroups(g.valID[a])
 	}
 }
 
+// groupFor returns the tuple indices whose attr value has dictionary
+// ID id (the ϕ8/ϕ9 equality class of that value).
+func (g *Grounding) groupFor(attr int32, id uint32) []int32 {
+	return g.groups[attr].find(id)
+}
+
+// valEq reports whether tuples i and j agree on attr — both null, or
+// both carrying the same interned value. One integer comparison,
+// replacing the string-key comparison of the pre-dictionary code.
 func (g *Grounding) valEq(attr, i, j int32) bool {
-	return g.valKey[attr][i] == g.valKey[attr][j] && !g.isNull[attr][i] && !g.isNull[attr][j] ||
-		g.isNull[attr][i] && g.isNull[attr][j]
+	return g.valID[attr][i] == g.valID[attr][j]
 }
 
 // packedPair is a zero-premise order consequence produced by grounding.
@@ -516,8 +691,19 @@ func (g *Grounding) compileCorr(f *rule.Form1) (corrRule, bool) {
 }
 
 // evalCmpOnPair evaluates a tuple/constant comparison predicate on the
-// ordered tuple pair (i, j) standing for (t1, t2).
+// ordered tuple pair (i, j) standing for (t1, t2). Equality tests
+// between instance values compare dictionary IDs; everything else
+// (ordering operators, constants) falls back to value comparison.
 func (g *Grounding) evalCmpOnPair(p rule.Pred, i, j int32) bool {
+	if (p.Op == rule.Eq || p.Op == rule.Ne) &&
+		p.Left.Kind == rule.TupleAttr && p.Right.Kind == rule.TupleAttr {
+		lid := g.operandID(p.Left, i, j)
+		rid := g.operandID(p.Right, i, j)
+		if p.Op == rule.Eq {
+			return lid == rid
+		}
+		return lid != rid
+	}
 	get := func(o rule.Operand) model.Value {
 		switch o.Kind {
 		case rule.Const:
@@ -532,6 +718,16 @@ func (g *Grounding) evalCmpOnPair(p rule.Pred, i, j int32) bool {
 		return model.NullValue()
 	}
 	return p.Op.Eval(get(p.Left), get(p.Right))
+}
+
+// operandID resolves a TupleAttr operand to its interned value ID on
+// the pair (i, j).
+func (g *Grounding) operandID(o rule.Operand, i, j int32) uint32 {
+	a := int32(g.schema.Index(o.Attr))
+	if o.Tup == 1 {
+		return g.valID[a][i]
+	}
+	return g.valID[a][j]
 }
 
 // groundForm1 materialises the ground steps of one form-(1) rule. Only
@@ -585,7 +781,8 @@ func (g *Grounding) groundForm1(f *rule.Form1, zero []packedPair, seen *pairSet,
 
 // foldCmp partially evaluates a comparison predicate on the pair (i, j).
 // If it references the target template it returns a target premise
-// (isTarget true); otherwise it returns the truth value (sat).
+// (isTarget true, with the comparison operand pre-interned); otherwise
+// it returns the truth value (sat).
 func (g *Grounding) foldCmp(p rule.Pred, i, j int32) (tp resid, isTarget, sat bool) {
 	eval := func(o rule.Operand) model.Value {
 		switch o.Kind {
@@ -600,19 +797,31 @@ func (g *Grounding) foldCmp(p rule.Pred, i, j int32) (tp resid, isTarget, sat bo
 		}
 		return model.NullValue()
 	}
+	// evalID interns only on the target branches: the sat fold below
+	// runs once per (rule, pair) and must not pay a dictionary probe.
+	evalID := func(o rule.Operand) uint32 {
+		if o.Kind == rule.TupleAttr {
+			return g.operandID(o, i, j)
+		}
+		return g.dict.Intern(o.Val)
+	}
 	switch {
 	case p.Left.Kind == rule.TargetAttr:
 		a := int32(g.schema.Index(p.Left.Attr))
-		return resid{kind: residTarget, attr: a, op: p.Op, val: eval(p.Right)}, true, false
+		return resid{kind: residTarget, attr: a, op: p.Op, val: eval(p.Right), valID: evalID(p.Right)}, true, false
 	case p.Right.Kind == rule.TargetAttr:
 		a := int32(g.schema.Index(p.Right.Attr))
-		return resid{kind: residTarget, attr: a, op: p.Op.Flip(), val: eval(p.Left)}, true, false
+		return resid{kind: residTarget, attr: a, op: p.Op.Flip(), val: eval(p.Left), valID: evalID(p.Left)}, true, false
 	default:
-		return resid{}, false, p.Op.Eval(eval(p.Left), eval(p.Right))
+		// Route through evalCmpOnPair so the ground-time fold and the
+		// run-time correlation path agree on every predicate — including
+		// the ID-based Eq/Ne fast path, whose NaN folding must not
+		// depend on which compilation shape a rule took.
+		return resid{}, false, g.evalCmpOnPair(p, i, j)
 	}
 }
 
-func (ix *form2Index) ground(schema *model.Schema, im *model.MasterRelation, f *rule.Form2) {
+func (ix *form2Index) ground(schema *model.Schema, im *model.MasterRelation, f *rule.Form2, dict *model.Dict) {
 	rm := im.Schema()
 	cf := compiledForm2{
 		name: f.RuleName,
@@ -631,10 +840,32 @@ func (ix *form2Index) ground(schema *model.Schema, im *model.MasterRelation, f *
 		}
 		cf.conds = append(cf.conds, cc)
 	}
+	// Intern every master-side comparison value and consequence value
+	// once, so run-time condition matching is integer-only.
+	rows := im.Tuples()
+	cf.condIDs = make([][]uint32, len(rows))
+	cf.consID = make([]uint32, len(rows))
+	flat := make([]uint32, len(rows)*len(cf.conds))
+	for rowIdx, tm := range rows {
+		ids := flat[rowIdx*len(cf.conds) : (rowIdx+1)*len(cf.conds) : (rowIdx+1)*len(cf.conds)]
+		for ci, c := range cf.conds {
+			w := c.c
+			if !c.isConst {
+				w = tm.At(int(c.masterIdx))
+			}
+			if !w.IsNull() {
+				ids[ci] = dict.Intern(w)
+			}
+		}
+		cf.condIDs[rowIdx] = ids
+		if v := tm.At(int(cf.src)); !v.IsNull() {
+			cf.consID[rowIdx] = dict.Intern(v)
+		}
+	}
 	ruleIdx := int32(len(ix.rules))
 	ix.rules = append(ix.rules, cf)
 
-	for rowIdx, tm := range im.Tuples() {
+	for rowIdx, tm := range rows {
 		if tm.At(int(cf.src)).IsNull() {
 			continue // cannot instantiate te with null
 		}
@@ -650,52 +881,52 @@ func (ix *form2Index) ground(schema *model.Schema, im *model.MasterRelation, f *
 			continue
 		}
 		entry := form2Entry{ruleIdx: ruleIdx, rowIdx: int32(rowIdx)}
-		attr, want, pending := ix.nextCond(im, entry, nil)
+		attr, want, pending := ix.nextCond(entry, nil)
 		switch {
 		case !pending:
 			ix.zero = append(ix.zero, entry)
 		case attr < 0:
 			// A condition can never be satisfied (null master value).
 		default:
-			ix.trig[form2Key{attr, want.Norm()}] = append(
-				ix.trig[form2Key{attr, want.Norm()}], entry)
+			k := f2Key(attr, want)
+			ix.trig[k] = append(ix.trig[k], entry)
 		}
 	}
 }
 
-// form2NextCond finds the first condition of entry not yet satisfied by
-// te (nil te means nothing is known). It returns pending=false when all
-// conditions hold, and the sentinel attr == -1 when some condition can
-// never hold (a null master value, or a te value that already differs).
-func (ix *form2Index) nextCond(im *model.MasterRelation, e form2Entry, te *model.Tuple) (attr int32, want model.Value, pending bool) {
+// nextCond finds the first condition of entry not yet satisfied by the
+// target's ID row (nil teID means nothing is known). It returns
+// pending=false when all conditions hold, and the sentinel attr == -1
+// when some condition can never hold (a null master value, or a te
+// value that already differs). Matching is pure integer comparison
+// against the pre-interned condition IDs.
+func (ix *form2Index) nextCond(e form2Entry, teID []uint32) (attr int32, want uint32, pending bool) {
 	f := &ix.rules[e.ruleIdx]
-	tm := im.Tuple(int(e.rowIdx))
-	for _, c := range f.conds {
-		w := c.c
-		if !c.isConst {
-			w = tm.At(int(c.masterIdx))
+	ids := f.condIDs[e.rowIdx]
+	for ci, c := range f.conds {
+		w := ids[ci]
+		if w == model.NullID {
+			return -1, 0, true // never satisfiable
 		}
-		if w.IsNull() {
-			return -1, model.Value{}, true // never satisfiable
-		}
-		if te == nil {
+		if teID == nil {
 			return c.attr, w, true
 		}
-		cur := te.At(int(c.attr))
-		if cur.IsNull() {
+		cur := teID[c.attr]
+		if cur == model.NullID {
 			return c.attr, w, true
 		}
-		if !cur.Equal(w) {
-			return -1, model.Value{}, true // mismatch: dead entry
+		if cur != w {
+			return -1, 0, true // mismatch: dead entry
 		}
 	}
-	return 0, model.Value{}, false
+	return 0, 0, false
 }
 
-// consequence yields a fully matched entry's consequence.
-func (ix *form2Index) consequence(im *model.MasterRelation, e form2Entry) (attr int32, val model.Value) {
+// consequence yields a fully matched entry's consequence: the target
+// attribute, the master value and its dictionary ID.
+func (ix *form2Index) consequence(im *model.MasterRelation, e form2Entry) (attr int32, val model.Value, valID uint32) {
 	f := &ix.rules[e.ruleIdx]
-	return f.tgt, im.Tuple(int(e.rowIdx)).At(int(f.src))
+	return f.tgt, im.Tuple(int(e.rowIdx)).At(int(f.src)), f.consID[e.rowIdx]
 }
 
 func (g *Grounding) addStep(st groundStep) {
@@ -722,19 +953,19 @@ func (g *Grounding) baseChase(zeroPairs []packedPair) {
 	if g.useAxioms {
 		for a := 0; a < g.nattr; a++ {
 			rel := e.orders.Attr(a)
-			var nulls, nonNulls []int
+			var nulls, nonNulls []int32
 			for i := 0; i < g.n; i++ {
-				if g.isNull[a][i] {
-					nulls = append(nulls, i)
+				if g.valID[a][i] == model.NullID {
+					nulls = append(nulls, int32(i))
 				} else {
-					nonNulls = append(nonNulls, i)
+					nonNulls = append(nonNulls, int32(i))
 				}
 			}
 			for _, grp := range g.sortedGroups(a) {
-				rel.SetClique(grp)
+				rel.SetClique32(grp)
 			}
-			rel.SetClique(nulls)
-			rel.SetBelow(nulls, nonNulls)
+			rel.SetClique32(nulls)
+			rel.SetBelow32(nulls, nonNulls)
 		}
 	}
 	// Derive column counts of the seeded state.
@@ -780,12 +1011,10 @@ func (g *Grounding) baseChase(zeroPairs []packedPair) {
 }
 
 // sortedGroups returns the value groups of attribute a in a
-// deterministic order (by smallest member index).
-func (g *Grounding) sortedGroups(a int) [][]int {
-	groups := make([][]int, 0, len(g.valueGroups[a]))
-	for _, grp := range g.valueGroups[a] {
-		groups = append(groups, grp)
-	}
+// deterministic order (by smallest member index), exactly as the
+// pre-dictionary map representation yielded them.
+func (g *Grounding) sortedGroups(a int) [][]int32 {
+	groups := append([][]int32(nil), g.groups[a].members...)
 	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
 	return groups
 }
@@ -819,7 +1048,25 @@ func (g *Grounding) runWith(e *engine, template *model.Tuple) {
 	if template != nil {
 		for a := 0; a < g.nattr; a++ {
 			if v := template.At(a); !v.IsNull() {
-				e.pushTarget(int32(a), v)
+				vid, ok := template.IDIn(g.dict, a)
+				if !ok {
+					// Cold template (caller-built tuple): look the value
+					// up WITHOUT interning — a long-lived serving session
+					// checking novel caller values must not grow the
+					// shared append-only dictionary per check. A miss
+					// maps to the NoID sentinel, which is sound: an
+					// unknown value equals no interned value (Lookup is
+					// Norm-complete), NoID matches no group, form-(2)
+					// key or premise ID, and only the template can push
+					// an unknown value — one per attribute — so two
+					// distinct unknowns never meet in one te slot.
+					// Candidates assembled by the top-k search carry a
+					// cached ID row and never reach this.
+					if vid, ok = g.dict.Lookup(v); !ok {
+						vid = model.NoID
+					}
+				}
+				e.pushTarget(int32(a), v, vid)
 			}
 		}
 	}
@@ -830,15 +1077,15 @@ func (g *Grounding) runWith(e *engine, template *model.Tuple) {
 	for a := 0; a < g.nattr; a++ {
 		for j := 0; j < g.n; j++ {
 			if e.counts[a][j] == int32(g.n-1) && (g.n > 1 || g.baseOrders.Attr(a).Has(j, j)) {
-				if v := g.vals[a][j]; !v.IsNull() {
-					e.pushTarget(int32(a), v)
+				if vid := g.valID[a][j]; vid != model.NullID {
+					e.pushTarget(int32(a), g.vals[a][j], vid)
 				}
 			}
 		}
 	}
 	for _, entry := range g.form2.zero {
-		attr, val := g.form2.consequence(g.im, entry)
-		e.pushTarget(attr, val)
+		attr, val, vid := g.form2.consequence(g.im, entry)
+		e.pushTarget(attr, val, vid)
 	}
 	for s := range g.steps {
 		if e.npred[s] == 0 && !e.pushed[s] {

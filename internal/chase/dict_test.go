@@ -1,0 +1,242 @@
+package chase
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rule"
+)
+
+// dictSchema builds a small schema + rule set for the dictionary tests.
+func dictSpec(t *testing.T) (*model.Schema, *rule.Set) {
+	t.Helper()
+	schema := model.MustSchema("R", "a", "b")
+	rules, err := rule.NewSet(schema, nil, &rule.Form1{
+		RuleName: "r1",
+		LHS:      []rule.Pred{rule.Prec("a")},
+		RHS:      "b",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema, rules
+}
+
+// TestValueIDsStableAcrossExtend pins the append-only invariant at the
+// grounding level: every tuple keeps its value ID across versions, new
+// values get fresh IDs from the same dictionary, and the per-version
+// value groups agree with the ID rows.
+func TestValueIDsStableAcrossExtend(t *testing.T) {
+	schema, rules := dictSpec(t)
+	ie := model.NewEntityInstance(schema)
+	for i := 0; i < 6; i++ {
+		ie.MustAdd(model.MustTuple(schema, model.S(fmt.Sprintf("v%d", i%3)), model.I(int64(i%2))))
+	}
+	sh, err := NewShared(schema, nil, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sh.NewGrounding(ie, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGroups := func(g *Grounding) {
+		t.Helper()
+		for a := 0; a < g.nattr; a++ {
+			for i := 0; i < g.n; i++ {
+				id := g.valID[a][i]
+				if id == model.NullID {
+					continue
+				}
+				found := false
+				for _, m := range g.groupFor(int32(a), id) {
+					if int(m) == i {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("tuple %d missing from its value group on attr %d", i, a)
+				}
+			}
+		}
+	}
+	checkGroups(g)
+
+	// Extend with one repeated value, one fresh value, one null.
+	ng, err := g.Extend(
+		model.MustTuple(schema, model.S("v0"), model.I(7)),
+		model.MustTuple(schema, model.S("fresh"), model.NullValue()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.dict != g.dict {
+		t.Fatal("Extend switched dictionaries")
+	}
+	for a := 0; a < g.nattr; a++ {
+		for i := 0; i < g.n; i++ {
+			if ng.valID[a][i] != g.valID[a][i] {
+				t.Fatalf("attr %d tuple %d changed ID %d -> %d across Extend",
+					a, i, g.valID[a][i], ng.valID[a][i])
+			}
+		}
+	}
+	if got, want := ng.valID[0][6], g.valID[0][0]; got != want {
+		t.Fatalf("repeated value v0 interned as %d, existing tuples carry %d", got, want)
+	}
+	if id := ng.valID[1][7]; id != model.NullID {
+		t.Fatalf("null value carries ID %d, want 0", id)
+	}
+	checkGroups(ng)
+
+	// The parent's groups must be untouched by the child's extension
+	// (in-flight checkers keep reading them).
+	if grp := g.groupFor(0, g.valID[0][0]); len(grp) != 2 {
+		t.Fatalf("parent group for v0 has %d members after Extend, want 2", len(grp))
+	}
+	if grp := ng.groupFor(0, g.valID[0][0]); len(grp) != 3 {
+		t.Fatalf("child group for v0 has %d members, want 3", len(grp))
+	}
+}
+
+// TestSharedDictAcrossBatch grounds many instances of one Shared
+// concurrently and checks they agree on every value's ID — the batch
+// sharing that makes per-entity grounding stop hashing repeated
+// values. Run under -race in CI, this also exercises the dictionary's
+// lock-free read / serialised append protocol.
+func TestSharedDictAcrossBatch(t *testing.T) {
+	schema, rules := dictSpec(t)
+	sh, err := NewShared(schema, nil, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	ids := make([]uint32, workers) // ID of the shared value per worker
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ie := model.NewEntityInstance(schema)
+			ie.MustAdd(model.MustTuple(schema, model.S("common"), model.I(int64(w))))
+			ie.MustAdd(model.MustTuple(schema, model.S(fmt.Sprintf("own%d", w)), model.I(int64(w))))
+			g, err := sh.NewGrounding(ie, Options{})
+			if err != nil {
+				panic(err)
+			}
+			ids[w] = g.valID[0][0]
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if ids[w] != ids[0] {
+			t.Fatalf("worker %d interned \"common\" as %d, worker 0 as %d", w, ids[w], ids[0])
+		}
+	}
+}
+
+// TestColdTemplateDoesNotGrowDict pins the serving-session memory
+// contract: checking caller-built templates with values the dictionary
+// has never seen must not intern them (the dict is append-only and
+// shared by every version — per-check growth would be an unbounded
+// leak on a long update stream), and the verdicts must match a
+// grounding that HAS seen the values.
+func TestColdTemplateDoesNotGrowDict(t *testing.T) {
+	schema, rules := dictSpec(t)
+	ie := model.NewEntityInstance(schema)
+	ie.MustAdd(model.MustTuple(schema, model.S("v0"), model.I(1)))
+	ie.MustAdd(model.MustTuple(schema, model.S("v1"), model.I(2)))
+	sh, err := NewShared(schema, nil, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sh.NewGrounding(ie, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.Run(nil)
+	if !res.CR {
+		t.Fatal(res.Conflict)
+	}
+	before := sh.Dict().Size()
+	for i := 0; i < 50; i++ {
+		tmpl := model.MustTuple(schema, model.S(fmt.Sprintf("novel-%d", i)), model.I(int64(1000+i)))
+		fresh := g.Run(tmpl) // caller-built tuple: no cached ID row
+		if fresh.CR {
+			// Whatever the verdict, it must agree with the same check
+			// against known values' semantics: a novel value equals no
+			// instance value, so only axiom-level consequences apply.
+			if got := fresh.Target.At(0); !got.Equal(tmpl.At(0)) {
+				t.Fatalf("template value not adopted: %s", got)
+			}
+		}
+	}
+	if after := sh.Dict().Size(); after != before {
+		t.Fatalf("cold-template checks grew the dictionary %d -> %d", before, after)
+	}
+}
+
+// TestCrossKindValueGrouping pins the ID semantics against the Naive
+// reference on the canonicalization corners interning must respect:
+// cross-kind numeric equality (I(3) vs F(3)), signed zeros, and
+// numeric-looking strings staying distinct from numbers.
+func TestCrossKindValueGrouping(t *testing.T) {
+	schema := model.MustSchema("R", "x", "y")
+	rules, err := rule.NewSet(schema, nil, &rule.Form1{
+		RuleName: "corr",
+		LHS:      []rule.Pred{rule.Prec("x")},
+		RHS:      "y",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ie := model.NewEntityInstance(schema)
+	ie.MustAdd(model.MustTuple(schema, model.I(3), model.S("p")))
+	ie.MustAdd(model.MustTuple(schema, model.F(3), model.S("q")))   // numerically equal to I(3)
+	ie.MustAdd(model.MustTuple(schema, model.S("3"), model.S("p"))) // a string, NOT the number
+	ie.MustAdd(model.MustTuple(schema, model.F(0), model.S("p")))
+	ie.MustAdd(model.MustTuple(schema, model.I(0), model.S("q"))) // equal to F(0)
+	ie.MustAdd(model.MustTuple(schema, model.NullValue(), model.S("p")))
+
+	spec := Spec{Ie: ie, Rules: rules}
+	got, err := Deduce(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Naive(spec, Options{}, nil)
+	if got.CR != want.CR {
+		t.Fatalf("CR: grounded %v, naive %v (%s)", got.CR, want.CR, got.Conflict)
+	}
+	if !got.CR {
+		t.Fatalf("spec unexpectedly not CR: %s", got.Conflict)
+	}
+	for a := 0; a < schema.Arity(); a++ {
+		gp, np := got.Orders.Attr(a).Pairs(), want.Orders.Attr(a).Pairs()
+		if fmt.Sprint(gp) != fmt.Sprint(np) {
+			t.Fatalf("attr %d orders diverge:\n grounded %v\n naive    %v", a, gp, np)
+		}
+	}
+	if !got.Target.EqualTo(want.Target) {
+		t.Fatalf("targets diverge: %s vs %s", got.Target, want.Target)
+	}
+	// The ID rows must group I(3) with F(3) and I(0) with F(0), keep
+	// S("3") apart, and give nulls ID 0.
+	g, err := NewGrounding(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.valID[0][0] != g.valID[0][1] {
+		t.Fatal("I(3) and F(3) carry different IDs")
+	}
+	if g.valID[0][0] == g.valID[0][2] {
+		t.Fatal("number 3 and string \"3\" share an ID")
+	}
+	if g.valID[0][3] != g.valID[0][4] {
+		t.Fatal("F(0) and I(0) carry different IDs")
+	}
+	if g.valID[0][5] != model.NullID {
+		t.Fatal("null does not carry NullID")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/order"
+	"repro/internal/rule"
 )
 
 // eventKind tags worklist entries.
@@ -22,6 +23,7 @@ type event struct {
 	i, j int32
 	idx  int32
 	val  model.Value
+	vid  uint32 // dictionary ID of val, for evTarget events
 }
 
 // engine is the mutable chase state shared by the base chase and by
@@ -35,13 +37,16 @@ type engine struct {
 	orders *order.Set
 	counts [][]int32 // per attr: for each j, #{i≠j : i ⪯ j}
 	te     *model.Tuple
+	// teID mirrors te as dictionary IDs (0 = still null); every target
+	// equality test during a run is an integer comparison against it.
+	teID   []uint32
 	npred  []int32
 	dead   []bool
 	pushed []bool
 	// form2More holds per-run re-registrations of form-2 entries that
-	// advanced past their first condition (the grounding's form2Trig is
-	// immutable and shared across runs).
-	form2More map[form2Key][]form2Entry
+	// advanced past their first condition (the grounding's form2 trig is
+	// immutable and shared across runs). Keys are f2Key-packed.
+	form2More map[uint64][]form2Entry
 	// deadTouched lists the step indices marked dead this run, so a
 	// pooled reset clears them without wiping the whole slice.
 	deadTouched []int32
@@ -89,6 +94,7 @@ func newRunEngine(g *Grounding, pooled bool) *engine {
 		orders: orders(),
 		counts: make([][]int32, g.nattr),
 		te:     model.NewTuple(g.schema),
+		teID:   make([]uint32, g.nattr),
 		npred:  append([]int32(nil), g.baseNpred...),
 		dead:   make([]bool, len(g.steps)),
 		pushed: append([]bool(nil), g.basePushed...),
@@ -117,6 +123,7 @@ func (e *engine) reset() {
 	e.deadTouched = e.deadTouched[:0]
 	for a := 0; a < g.nattr; a++ {
 		e.te.SetAt(a, model.Value{})
+		e.teID[a] = model.NullID
 	}
 	clear(e.form2More)
 	e.queue = e.queue[:0]
@@ -139,8 +146,8 @@ func (e *engine) pushPair(attr, i, j int32) {
 	e.queue = append(e.queue, event{kind: evPair, attr: attr, i: i, j: j})
 }
 
-func (e *engine) pushTarget(attr int32, v model.Value) {
-	e.queue = append(e.queue, event{kind: evTarget, attr: attr, val: v})
+func (e *engine) pushTarget(attr int32, v model.Value, vid uint32) {
+	e.queue = append(e.queue, event{kind: evTarget, attr: attr, val: v, vid: vid})
 }
 
 func (e *engine) pushStep(s int32) {
@@ -160,7 +167,7 @@ func (e *engine) drain() {
 		case evPair:
 			e.applyPair(ev.attr, ev.i, ev.j)
 		case evTarget:
-			e.applyTarget(ev.attr, ev.val)
+			e.applyTarget(ev.attr, ev.val, ev.vid)
 		case evStep:
 			e.applyStep(ev.idx)
 		}
@@ -186,7 +193,11 @@ func (e *engine) applyStep(s int32) {
 			// schedules them, but guard against misuse.
 			return
 		}
-		e.applyTarget(st.attr, st.val)
+		// No construction site sets isTarget today; if one ever does,
+		// resolve the consequence's ID here rather than carrying a
+		// field every (order) step would leave zeroed — a zero would
+		// alias NullID and desync te from teID.
+		e.applyTarget(st.attr, st.val, e.g.dict.Intern(st.val))
 	} else {
 		e.applyPair(st.attr, st.i, st.j)
 	}
@@ -229,15 +240,14 @@ func (e *engine) derivedPair(attr, x, y int32) {
 		c[y]++
 		if !e.base && c[y] == int32(e.g.n-1) {
 			// λ: y now dominates every other tuple.
-			if v := e.g.vals[attr][y]; !v.IsNull() {
-				cur := e.te.At(int(attr))
-				switch {
-				case cur.IsNull():
-					e.pushTarget(attr, v)
-				case !cur.Equal(v):
+			if vid := e.g.valID[attr][y]; vid != model.NullID {
+				switch cur := e.teID[attr]; {
+				case cur == model.NullID:
+					e.pushTarget(attr, e.g.vals[attr][y], vid)
+				case cur != vid:
 					e.conflict = fmt.Sprintf(
 						"λ conflict on %s: maximum value %s contradicts te value %s",
-						e.g.schema.Attr(int(attr)), v, cur)
+						e.g.schema.Attr(int(attr)), e.g.vals[attr][y], e.te.At(int(attr)))
 					return
 				}
 			}
@@ -297,34 +307,35 @@ func (e *engine) fireCorr(attr, x, y int32) {
 
 // applyTarget enforces te[attr] = v: no-op when already set to v, a
 // conflict when set differently, otherwise an instantiation that fires
-// the target triggers and the built-in axiom ϕ8.
-func (e *engine) applyTarget(attr int32, v model.Value) {
+// the target triggers and the built-in axiom ϕ8. Equality against the
+// current te value is an ID comparison (vid is v's dictionary ID).
+func (e *engine) applyTarget(attr int32, v model.Value, vid uint32) {
 	if e.conflict != "" || e.base {
 		return
 	}
-	cur := e.te.At(int(attr))
-	if !cur.IsNull() {
-		if !cur.Equal(v) {
+	if cur := e.teID[attr]; cur != model.NullID {
+		if cur != vid {
 			e.conflict = fmt.Sprintf("target conflict on %s: %s vs %s",
-				e.g.schema.Attr(int(attr)), cur, v)
+				e.g.schema.Attr(int(attr)), e.te.At(int(attr)), v)
 		}
 		return
 	}
-	e.te.SetAt(int(attr), v)
-	e.fireForm2(attr, v)
+	e.teID[attr] = vid
+	e.te.SetAtID(int(attr), v, e.g.dict, vid)
+	e.fireForm2(attr, vid)
 	// Target triggers are layered by grounding version like the order
 	// triggers; step indices are global across the layers, so one npred
 	// array serves them all.
 	for _, l := range e.g.ancestors {
-		e.fireTargetRefs(l.targetTrig[attr], v)
+		e.fireTargetRefs(l.targetTrig[attr], v, vid)
 	}
-	e.fireTargetRefs(e.g.targetTrig[attr], v)
+	e.fireTargetRefs(e.g.targetTrig[attr], v, vid)
 	if e.g.useAxioms {
 		// ϕ8: every tuple is at most as accurate as the tuples whose
 		// attr value equals the (now known) target value.
-		group := e.g.valueGroups[attr][v.Norm()]
+		group := e.g.groupFor(attr, vid)
 		if len(group) > 0 {
-			e.orders.Attr(int(attr)).AddAllTo(group, func(x, y int) {
+			e.orders.Attr(int(attr)).AddAllTo32(group, func(x, y int) {
 				if e.conflict == "" {
 					e.derivedPair(attr, int32(x), int32(y))
 				}
@@ -336,14 +347,24 @@ func (e *engine) applyTarget(attr int32, v model.Value) {
 // fireTargetRefs resolves the target premises of one trigger layer
 // against the just-instantiated value: each premise either fires (and
 // may complete its step) or can never be satisfied again, killing the
-// step.
-func (e *engine) fireTargetRefs(refs []predRef, v model.Value) {
+// step. Equality and inequality premises — the overwhelmingly common
+// shapes — resolve by ID; ordering operators compare the values.
+func (e *engine) fireTargetRefs(refs []predRef, v model.Value, vid uint32) {
 	for _, ref := range refs {
 		if e.dead[ref.step] {
 			continue
 		}
 		p := &e.g.steps[ref.step].preds[ref.pred]
-		if p.op.Eval(v, p.val) {
+		var sat bool
+		switch p.op {
+		case rule.Eq:
+			sat = vid == p.valID
+		case rule.Ne:
+			sat = vid != p.valID
+		default:
+			sat = p.op.Eval(v, p.val)
+		}
+		if sat {
 			e.npred[ref.step]--
 			if e.npred[ref.step] == 0 {
 				e.pushStep(ref.step)
@@ -356,27 +377,29 @@ func (e *engine) fireTargetRefs(refs []predRef, v model.Value) {
 	}
 }
 
-// fireForm2 advances the form-2 entries waiting on te[attr] = v: each
-// either fires its consequence, waits on its next condition, or dies.
-func (e *engine) fireForm2(attr int32, v model.Value) {
-	key := form2Key{attr, v.Norm()}
+// fireForm2 advances the form-2 entries waiting on te[attr] taking the
+// value with dictionary ID vid: each either fires its consequence,
+// waits on its next condition, or dies. Keys, condition matching and
+// re-registration are all integer-only.
+func (e *engine) fireForm2(attr int32, vid uint32) {
+	key := f2Key(attr, vid)
 	entries := e.g.form2.trig[key]
 	if more, ok := e.form2More[key]; ok {
 		entries = append(append([]form2Entry(nil), entries...), more...)
 		delete(e.form2More, key)
 	}
 	for _, entry := range entries {
-		nextAttr, want, pending := e.g.form2.nextCond(e.g.im, entry, e.te)
+		nextAttr, want, pending := e.g.form2.nextCond(entry, e.teID)
 		switch {
 		case !pending:
-			tgt, val := e.g.form2.consequence(e.g.im, entry)
-			e.pushTarget(tgt, val)
+			tgt, val, cid := e.g.form2.consequence(e.g.im, entry)
+			e.pushTarget(tgt, val, cid)
 		case nextAttr < 0:
 			// dead: a condition mismatched
 		default:
-			k := form2Key{nextAttr, want.Norm()}
+			k := f2Key(nextAttr, want)
 			if e.form2More == nil {
-				e.form2More = map[form2Key][]form2Entry{}
+				e.form2More = map[uint64][]form2Entry{}
 			}
 			e.form2More[k] = append(e.form2More[k], entry)
 		}

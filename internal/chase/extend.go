@@ -55,6 +55,12 @@ func (g *Grounding) Extend(tuples ...*model.Tuple) (*Grounding, error) {
 		n:         ie2.Size(),
 		nattr:     g.nattr,
 		useAxioms: g.useAxioms,
+		// The dictionary is shared across versions: delta values are
+		// interned into it (append-only, readers never blocked), so
+		// every ID the parent version issued — cached in candidate
+		// tuples, trigger premises, the form-(2) index — stays valid
+		// here. See the DESIGN.md invariant on ID stability.
+		dict: g.dict,
 		// The step prefix is shared with the parent; the full slice
 		// expression forces the first delta step onto a fresh backing
 		// array instead of overwriting the parent's.
@@ -120,41 +126,35 @@ func (ng *Grounding) compactTriggers() {
 // 0 for a fresh grounding, incremented by each Extend.
 func (g *Grounding) Version() int { return g.version }
 
-// extendValues builds the per-version value indexes: the parent's
-// entries are copied (they are O(nattr·n), cheap next to any chase
-// work) and the new tuples appended. Value groups are copy-on-append:
-// a group that gains no member is shared with the parent, a group that
-// does is reallocated so the parent's slice never changes.
+// extendValues builds the per-version value indexes: the parent's ID
+// rows are copied (they are O(nattr·n) uint32s, cheap next to any
+// chase work), the new tuples' values interned into the shared
+// dictionary, and the value groups extended copy-on-append — a group
+// gaining no member shares its slice with the parent, so the parent's
+// groups (which in-flight checkers on the old version may be reading)
+// never change. The old representation's per-extend map-of-Value copy,
+// which rehashed every distinct value and re-keyed every group, is
+// gone entirely.
 func (ng *Grounding) extendValues(p *Grounding) {
 	n, na, oldN := ng.n, ng.nattr, p.n
-	ng.valKey = make([][]string, na)
-	ng.isNull = make([][]bool, na)
+	ng.valID = make([][]uint32, na)
 	ng.vals = make([][]model.Value, na)
-	ng.valueGroups = make([]map[model.Value][]int, na)
+	ng.groups = make([]idGroups, na)
 	ng.targetTrig = make([][]predRef, na)
 	for a := 0; a < na; a++ {
-		vk := make([]string, n)
-		isn := make([]bool, n)
+		ids := make([]uint32, n)
 		vs := make([]model.Value, n)
-		copy(vk, p.valKey[a])
-		copy(isn, p.isNull[a])
+		copy(ids, p.valID[a])
 		copy(vs, p.vals[a])
-		groups := make(map[model.Value][]int, len(p.valueGroups[a])+1)
-		for v, grp := range p.valueGroups[a] {
-			groups[v] = grp[:len(grp):len(grp)]
-		}
 		for i := oldN; i < n; i++ {
 			v := ng.ie.Value(i, a)
 			vs[i] = v
-			if v.IsNull() {
-				isn[i] = true
-				continue
+			if !v.IsNull() {
+				ids[i] = ng.dict.Intern(v)
 			}
-			vk[i] = v.Key()
-			nv := v.Norm()
-			groups[nv] = append(groups[nv], i)
 		}
-		ng.valKey[a], ng.isNull[a], ng.vals[a], ng.valueGroups[a] = vk, isn, vs, groups
+		ng.valID[a], ng.vals[a] = ids, vs
+		ng.groups[a] = p.groups[a].extend(ids, oldN)
 	}
 }
 
@@ -246,20 +246,21 @@ func (ng *Grounding) baseChaseDelta(p *Grounding, zeroPairs []packedPair) {
 func (ng *Grounding) seedDeltaAxioms(e *engine, oldN int) {
 	for a := 0; a < ng.nattr; a++ {
 		aa := int32(a)
+		ids := ng.valID[a]
 		for i := oldN; i < ng.n; i++ {
 			e.pushPair(aa, int32(i), int32(i)) // ϕ9, reflexive
 		}
 		// ϕ9: each new tuple is mutually ⪯ the tuples sharing its value.
 		for i := oldN; i < ng.n; i++ {
-			if ng.isNull[a][i] {
+			if ids[i] == model.NullID {
 				continue
 			}
-			for _, j := range ng.valueGroups[a][ng.vals[a][i].Norm()] {
-				if j == i {
+			for _, j := range ng.groupFor(aa, ids[i]) {
+				if int(j) == i {
 					continue
 				}
-				e.pushPair(aa, int32(i), int32(j))
-				e.pushPair(aa, int32(j), int32(i))
+				e.pushPair(aa, int32(i), j)
+				e.pushPair(aa, j, int32(i))
 			}
 		}
 		// ϕ7: null values have the lowest accuracy — a new null joins
@@ -268,12 +269,12 @@ func (ng *Grounding) seedDeltaAxioms(e *engine, oldN int) {
 		// loop).
 		for i := oldN; i < ng.n; i++ {
 			ii := int32(i)
-			if ng.isNull[a][i] {
+			if ids[i] == model.NullID {
 				for j := 0; j < ng.n; j++ {
 					if j == i {
 						continue
 					}
-					if ng.isNull[a][j] {
+					if ids[j] == model.NullID {
 						e.pushPair(aa, ii, int32(j))
 						e.pushPair(aa, int32(j), ii)
 					} else {
@@ -282,7 +283,7 @@ func (ng *Grounding) seedDeltaAxioms(e *engine, oldN int) {
 				}
 			} else {
 				for j := 0; j < oldN; j++ {
-					if ng.isNull[a][j] {
+					if ids[j] == model.NullID {
 						e.pushPair(aa, int32(j), ii)
 					}
 				}

@@ -8,20 +8,25 @@ import (
 )
 
 // Shared is the instance-independent groundwork of a specification: the
-// rule set validated against one (entity schema, master schema) pair and
+// rule set validated against one (entity schema, master schema) pair,
 // the compiled form-(2) index for that schema, master relation and rule
-// set. Batch pipelines that chase many entity instances of the same
-// relation build it once and stamp per-entity Groundings out of it,
-// skipping rule re-validation and the O(‖Σ‖·|Im|) form-(2) compilation
-// on every entity.
+// set, and the schema-scoped value dictionary every grounding stamped
+// from it interns into. Batch pipelines that chase many entity
+// instances of the same relation build it once and stamp per-entity
+// Groundings out of it, skipping rule re-validation and the
+// O(‖Σ‖·|Im|) form-(2) compilation on every entity — and sharing one
+// dictionary, so a value seen by any entity is hashed once per batch,
+// not once per entity.
 //
-// A Shared is immutable after construction and safe for concurrent use
-// by any number of goroutines.
+// A Shared is immutable after construction — except the dictionary,
+// which is append-only and internally synchronised — and safe for
+// concurrent use by any number of goroutines.
 type Shared struct {
 	schema *model.Schema
 	im     *model.MasterRelation
 	rules  *rule.Set
 	form2  *form2Index
+	dict   *model.Dict
 }
 
 // NewShared validates the rules against the schemas and precompiles the
@@ -41,12 +46,18 @@ func NewShared(schema *model.Schema, im *model.MasterRelation, rules *rule.Set) 
 	}
 	sh := &Shared{schema: schema, im: im, rules: rules}
 	if im != nil {
-		sh.form2 = form2IndexFor(schema, im, rules)
+		// The form-(2) index's trigger keys embed dictionary IDs, so the
+		// index and the dictionary are built (and memoised) as a pair.
+		sh.form2, sh.dict = form2IndexFor(schema, im, rules)
 	} else {
 		sh.form2 = &form2Index{}
+		sh.dict = model.NewDict()
 	}
 	return sh, nil
 }
+
+// Dict returns the groundwork's value dictionary.
+func (sh *Shared) Dict() *model.Dict { return sh.dict }
 
 // Schema returns the entity schema the groundwork was built for.
 func (sh *Shared) Schema() *model.Schema { return sh.schema }
@@ -83,6 +94,7 @@ func (sh *Shared) NewGrounding(ie *model.EntityInstance, opts Options) (*Groundi
 		useAxioms: !opts.DisableAxioms,
 		orderTrig: make(map[uint64][]predRef),
 		form2:     sh.form2,
+		dict:      sh.dict,
 	}
 	g.indexValues()
 	zero := g.ground()

@@ -1,0 +1,142 @@
+package model
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// NullID is the reserved dictionary ID of the null value. Every Dict is
+// born with null interned at ID 0, so "id == NullID" is the ID-level
+// null test and a zeroed ID buffer reads as an all-null row.
+const NullID uint32 = 0
+
+// NoID is the sentinel marking an absent cached ID (see Tuple). It is
+// never a valid dictionary ID: a Dict refuses to grow that far.
+const NoID = ^uint32(0)
+
+// Dict is an append-only dictionary interning attribute values as dense
+// uint32 IDs. Two values receive the same ID exactly when their
+// canonical forms (Value.Norm) coincide — the same equivalence Key and
+// the chase's value grouping already use — so ID equality substitutes
+// for Value.Equal everywhere the chase compares values. The deliberate
+// divergences from Equal are those of Norm/Key themselves: NaN folds
+// into a single class (Equal follows IEEE and rejects it), and int64
+// magnitudes beyond float64 precision collide with their float
+// neighbours, exactly as their Key strings always have (see Norm and
+// Key). The chase previously mixed Key-based grouping with Equal-based
+// target comparison, so those corners were path-dependent; IDs make
+// them uniformly canonical.
+//
+// A Dict is safe for concurrent use and its reads never block: lookups
+// consult an immutable snapshot map through an atomic pointer, so any
+// number of goroutines may resolve IDs while others intern new values.
+// Interning serialises writers on an internal mutex but never touches
+// the snapshot readers see; newly interned values live in a small
+// overlay that is folded into a fresh snapshot once it has grown to the
+// snapshot's size (the sync.Map promotion scheme, with typed maps).
+//
+// IDs are append-only and version-stable: an ID, once assigned, is
+// never reassigned or removed, so IDs cached by one grounding version
+// stay valid for every later version of the same schema's groundwork
+// (chase.Grounding.Extend relies on this — see DESIGN.md invariants).
+type Dict struct {
+	read atomic.Pointer[map[Value]uint32] // immutable snapshot; never written
+	vals atomic.Pointer[[]Value]          // ID → canonical value; append-only
+
+	mu    sync.Mutex       // guards dirty and all appends
+	dirty map[Value]uint32 // entries newer than the snapshot
+}
+
+// NewDict creates a dictionary holding only the null value (as NullID).
+func NewDict() *Dict {
+	d := &Dict{dirty: make(map[Value]uint32)}
+	read := map[Value]uint32{{}: NullID}
+	vals := []Value{{}}
+	d.read.Store(&read)
+	d.vals.Store(&vals)
+	return d
+}
+
+// Size returns the number of interned values, including null.
+func (d *Dict) Size() int { return len(*d.vals.Load()) }
+
+// Lookup returns the ID of v if some Equal value has been interned
+// (null always has). It takes no lock when the value is in the current
+// snapshot, and never interns.
+func (d *Dict) Lookup(v Value) (uint32, bool) {
+	nv := v.Norm()
+	if id, ok := (*d.read.Load())[nv]; ok {
+		return id, true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Re-check the snapshot under the lock: a concurrent promote() may
+	// have moved nv from the overlay into a fresh snapshot between the
+	// read above and the lock acquisition.
+	if id, ok := (*d.read.Load())[nv]; ok {
+		return id, true
+	}
+	id, ok := d.dirty[nv]
+	return id, ok
+}
+
+// Intern returns the ID of v, assigning the next free ID when no Equal
+// value has been interned yet. The hot path — a value already in the
+// snapshot — is a single lock-free map read.
+func (d *Dict) Intern(v Value) uint32 {
+	nv := v.Norm()
+	if id, ok := (*d.read.Load())[nv]; ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Re-check under the lock: the snapshot may have been promoted, or a
+	// racing Intern may have added nv to the overlay.
+	if id, ok := (*d.read.Load())[nv]; ok {
+		return id
+	}
+	if id, ok := d.dirty[nv]; ok {
+		return id
+	}
+	vals := *d.vals.Load()
+	id := uint32(len(vals))
+	if id == NoID {
+		panic("model: dictionary overflow (2³²-1 distinct values)")
+	}
+	// Publish the grown ID→value slice before the ID becomes findable.
+	// Readers holding the old header never index the new element;
+	// readers loading the new header see it fully written. NaN is kept
+	// as a real float so ValueOf renders faithfully (its Norm is an
+	// opaque sentinel usable only as a map key).
+	stored := nv
+	if v.Kind() == Float && math.IsNaN(v.Float()) {
+		stored = v
+	}
+	vals = append(vals, stored)
+	d.vals.Store(&vals)
+	d.dirty[nv] = id
+	if len(d.dirty) >= len(*d.read.Load()) {
+		d.promote()
+	}
+	return id
+}
+
+// promote folds the overlay into a fresh immutable snapshot. Called
+// with mu held; amortised O(1) per Intern by geometric growth.
+func (d *Dict) promote() {
+	old := *d.read.Load()
+	merged := make(map[Value]uint32, len(old)+len(d.dirty))
+	for v, id := range old {
+		merged[v] = id
+	}
+	for v, id := range d.dirty {
+		merged[v] = id
+	}
+	d.read.Store(&merged)
+	d.dirty = make(map[Value]uint32)
+}
+
+// ValueOf returns the canonical (Norm) representative interned under
+// id. It panics when id was never assigned.
+func (d *Dict) ValueOf(id uint32) Value { return (*d.vals.Load())[id] }

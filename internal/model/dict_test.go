@@ -1,0 +1,156 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestDictNullIsZero(t *testing.T) {
+	d := NewDict()
+	if d.Size() != 1 {
+		t.Fatalf("fresh dict holds %d values, want 1 (null)", d.Size())
+	}
+	if id := d.Intern(NullValue()); id != NullID {
+		t.Fatalf("null interned as %d, want %d", id, NullID)
+	}
+	if id, ok := d.Lookup(NullValue()); !ok || id != NullID {
+		t.Fatalf("null lookup = (%d, %v), want (0, true)", id, ok)
+	}
+}
+
+func TestDictEqualValuesShareID(t *testing.T) {
+	d := NewDict()
+	negZero := math.Copysign(0, -1)
+	cases := [][2]Value{
+		{I(3), F(3)},           // numeric cross-kind equality
+		{F(0), F(negZero)},     // signed zeros
+		{S("x"), S("x")},       // plain strings
+		{B(true), B(true)},     // booleans
+		{Parse("2.5"), F(2.5)}, // parse agrees with constructor
+	}
+	for i, c := range cases {
+		a, b := d.Intern(c[0]), d.Intern(c[1])
+		if a != b {
+			t.Fatalf("case %d: %s and %s interned as %d and %d", i, c[0].Quote(), c[1].Quote(), a, b)
+		}
+	}
+}
+
+func TestDictDistinctValuesGetDistinctIDs(t *testing.T) {
+	d := NewDict()
+	vals := []Value{S("a"), S("b"), I(1), I(2), F(1.5), B(true), B(false), S("1"), S("true")}
+	seen := map[uint32]Value{NullID: NullValue()}
+	for _, v := range vals {
+		id := d.Intern(v)
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("%s and %s share ID %d", prev.Quote(), v.Quote(), id)
+		}
+		seen[id] = v
+	}
+	if d.Size() != len(vals)+1 {
+		t.Fatalf("dict holds %d values, want %d", d.Size(), len(vals)+1)
+	}
+}
+
+func TestDictAppendOnlyAcrossPromotions(t *testing.T) {
+	d := NewDict()
+	const n = 10_000 // far past several promotions
+	ids := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		ids[i] = d.Intern(S(fmt.Sprintf("v%d", i)))
+	}
+	// Every earlier ID must survive every later append (the version
+	// stability chase.Grounding.Extend depends on).
+	for i := 0; i < n; i++ {
+		if got := d.Intern(S(fmt.Sprintf("v%d", i))); got != ids[i] {
+			t.Fatalf("value %d re-interned as %d, first saw %d", i, got, ids[i])
+		}
+		if v := d.ValueOf(ids[i]); v.Str() != fmt.Sprintf("v%d", i) {
+			t.Fatalf("ValueOf(%d) = %s", ids[i], v.Quote())
+		}
+	}
+}
+
+// TestDictConcurrentIntern exercises the lock-free read / serialised
+// append protocol under the race detector: all goroutines must agree on
+// every value's ID while interning overlapping and fresh value sets.
+func TestDictConcurrentIntern(t *testing.T) {
+	d := NewDict()
+	const workers, per = 8, 500
+	got := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := make([]uint32, 0, 2*per)
+			for i := 0; i < per; i++ {
+				ids = append(ids, d.Intern(S(fmt.Sprintf("shared%d", i)))) // contended
+				ids = append(ids, d.Intern(I(int64(w*per+i))))             // private
+				if id, ok := d.Lookup(S(fmt.Sprintf("shared%d", i))); !ok || id != ids[len(ids)-2] {
+					panic("lookup disagrees with intern")
+				}
+			}
+			got[w] = ids
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < per; i++ {
+			if got[w][2*i] != got[0][2*i] {
+				t.Fatalf("worker %d saw shared%d as %d, worker 0 saw %d", w, i, got[w][2*i], got[0][2*i])
+			}
+		}
+	}
+	if want := 1 + per + workers*per; d.Size() != want {
+		t.Fatalf("dict holds %d values, want %d", d.Size(), want)
+	}
+}
+
+func TestTupleIDRow(t *testing.T) {
+	s := MustSchema("R", "a", "b", "c")
+	d := NewDict()
+	tu := MustTuple(s, S("x"), I(7), NullValue()).Intern(d)
+	for i := 0; i < 3; i++ {
+		id, ok := tu.IDIn(d, i)
+		if !ok {
+			t.Fatalf("position %d not cached after Intern", i)
+		}
+		if want := d.Intern(tu.At(i)); id != want {
+			t.Fatalf("position %d cached %d, dict says %d", i, id, want)
+		}
+	}
+	// SetAt invalidates (non-null) or fixes up (null).
+	tu.SetAt(0, S("y"))
+	if _, ok := tu.IDIn(d, 0); ok {
+		t.Fatal("stale ID survived SetAt")
+	}
+	tu.SetAt(1, NullValue())
+	if id, ok := tu.IDIn(d, 1); !ok || id != NullID {
+		t.Fatalf("null SetAt cached (%d, %v), want (0, true)", id, ok)
+	}
+	// SetAtID re-validates; a different dict discards the whole row.
+	tu.SetAtID(0, S("y"), d, d.Intern(S("y")))
+	if id, ok := tu.IDIn(d, 0); !ok || id != d.Intern(S("y")) {
+		t.Fatalf("SetAtID row = (%d, %v)", id, ok)
+	}
+	d2 := NewDict()
+	tu.SetAtID(2, S("z"), d2, d2.Intern(S("z")))
+	if _, ok := tu.IDIn(d, 0); ok {
+		t.Fatal("cache for old dict answered after re-tagging")
+	}
+	if id, ok := tu.IDIn(d2, 2); !ok || id != d2.Intern(S("z")) {
+		t.Fatalf("re-tagged row = (%d, %v)", id, ok)
+	}
+	// Clone carries the cache.
+	cl := tu.Clone()
+	if id, ok := cl.IDIn(d2, 2); !ok || id != d2.Intern(S("z")) {
+		t.Fatal("clone lost the ID row")
+	}
+	cl.SetAt(2, S("w"))
+	if _, ok := tu.IDIn(d2, 2); !ok {
+		t.Fatal("mutating the clone touched the original's row")
+	}
+}

@@ -92,9 +92,18 @@ func (s *Schema) Same(o *Schema) bool {
 // Tuple is a tuple of one schema: a dense slice of values aligned with
 // the schema's attributes. Tuples are mutable; the chase never mutates
 // instance tuples, only target templates.
+//
+// A tuple can carry a cached dictionary-ID row alongside its values
+// (Intern, SetAtID): candidate templates assembled by the top-k search
+// are interned once, so the thousands of chase checks they feed skip
+// all value hashing. The cache is tagged with the Dict it refers to —
+// IDs from one dictionary are meaningless in another — and SetAt/Set
+// keep it coherent by invalidating the touched position.
 type Tuple struct {
 	schema *Schema
 	vals   []Value
+	dict   *Dict    // dictionary the cached IDs belong to; nil = no cache
+	ids    []uint32 // aligned with vals when dict != nil; NoID = not cached
 }
 
 // NewTuple creates a tuple of the given schema with every attribute null.
@@ -126,8 +135,59 @@ func (t *Tuple) Schema() *Schema { return t.schema }
 // At returns the value at attribute position i.
 func (t *Tuple) At(i int) Value { return t.vals[i] }
 
-// SetAt overwrites the value at attribute position i.
-func (t *Tuple) SetAt(i int, v Value) { t.vals[i] = v }
+// SetAt overwrites the value at attribute position i. A cached ID row
+// stays coherent: the touched position is re-derived for null (whose ID
+// is fixed) and invalidated otherwise.
+func (t *Tuple) SetAt(i int, v Value) {
+	t.vals[i] = v
+	if t.dict != nil {
+		if v.IsNull() {
+			t.ids[i] = NullID
+		} else {
+			t.ids[i] = NoID
+		}
+	}
+}
+
+// SetAtID overwrites position i with v together with its ID in d, so a
+// later IDIn(d, i) is a cache hit. A cache tagged with a different
+// dictionary is discarded first: mixed-dictionary rows would alias
+// unrelated values.
+func (t *Tuple) SetAtID(i int, v Value, d *Dict, id uint32) {
+	t.vals[i] = v
+	if t.dict != d {
+		t.dict = d
+		t.ids = make([]uint32, len(t.vals))
+		for j := range t.ids {
+			t.ids[j] = NoID
+		}
+	}
+	t.ids[i] = id
+}
+
+// Intern caches the dictionary IDs of every value under d (interning
+// values d has not seen) and returns t for chaining. The chase reads
+// the row back with IDIn instead of hashing values per check.
+func (t *Tuple) Intern(d *Dict) *Tuple {
+	if t.dict != d || t.ids == nil {
+		t.dict = d
+		t.ids = make([]uint32, len(t.vals))
+	}
+	for i, v := range t.vals {
+		t.ids[i] = d.Intern(v)
+	}
+	return t
+}
+
+// IDIn returns the cached ID of position i relative to d; ok is false
+// when the cache is absent, stale, or tagged with another dictionary.
+func (t *Tuple) IDIn(d *Dict, i int) (uint32, bool) {
+	if t.dict != d || t.dict == nil {
+		return 0, false
+	}
+	id := t.ids[i]
+	return id, id != NoID
+}
 
 // Get returns the value of the named attribute; the second result is
 // false if the attribute does not exist.
@@ -146,13 +206,17 @@ func (t *Tuple) Set(attr string, v Value) bool {
 	if i < 0 {
 		return false
 	}
-	t.vals[i] = v
+	t.SetAt(i, v)
 	return true
 }
 
-// Clone returns a deep copy of the tuple.
+// Clone returns a deep copy of the tuple, cached ID row included.
 func (t *Tuple) Clone() *Tuple {
-	return &Tuple{schema: t.schema, vals: append([]Value(nil), t.vals...)}
+	out := &Tuple{schema: t.schema, vals: append([]Value(nil), t.vals...), dict: t.dict}
+	if t.ids != nil {
+		out.ids = append([]uint32(nil), t.ids...)
+	}
+	return out
 }
 
 // Complete reports whether no attribute is null.

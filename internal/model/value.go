@@ -209,6 +209,13 @@ func (v Value) Quote() string {
 // float64 precision collide — exactly as their Key strings do), and
 // unused payload fields are zeroed. The result is directly usable as a
 // map key and — unlike Key — allocates nothing.
+//
+// Norm is a true canonical form: Norm(v) == Norm(w) (Go ==) exactly
+// when Key(v) == Key(w), and Equal(v, w) implies equal Norms. Value
+// interning (Dict) is sound only because of this — the fuzz test
+// FuzzValueCanon pins it. The one value equal Norms do NOT imply Equal
+// for is NaN: IEEE makes NaN unequal to itself, but Key and Norm fold
+// all NaNs into one class so maps and dictionaries stay usable.
 func (v Value) Norm() Value {
 	switch v.kind {
 	case String:
@@ -222,16 +229,26 @@ func (v Value) Norm() Value {
 			// normalizes to, preserving Key's "nNaN" grouping.
 			return Value{kind: Bool, s: "NaN"}
 		}
+		if v.f == 0 {
+			// Fold -0.0 into +0.0: they are == (so they'd collide as map
+			// keys anyway) but format differently, which would desync
+			// Norm classes from Key strings.
+			return Value{kind: Float, f: 0}
+		}
 		return Value{kind: Float, f: v.f}
 	case Bool:
-		return Value{kind: Bool, b: v.b}
+		// Preserve the s payload: the NaN sentinel above is Bool-kinded
+		// with s == "NaN", and Norm must be idempotent on its own output
+		// (FuzzValueCanon pins this).
+		return Value{kind: Bool, s: v.s, b: v.b}
 	default:
 		return Value{}
 	}
 }
 
 // Key returns a string that is identical exactly for Equal values, for
-// use as a map key. Numeric values of equal magnitude share a key.
+// use as a map key. Numeric values of equal magnitude share a key
+// (including -0.0 and +0.0, which are numerically equal).
 func (v Value) Key() string {
 	switch v.kind {
 	case Null:
@@ -241,7 +258,11 @@ func (v Value) Key() string {
 	case Int:
 		return "n" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
 	case Float:
-		return "n" + strconv.FormatFloat(v.f, 'g', -1, 64)
+		f := v.f
+		if f == 0 {
+			f = 0 // fold -0.0 into +0.0, matching Norm
+		}
+		return "n" + strconv.FormatFloat(f, 'g', -1, 64)
 	case Bool:
 		return "b" + strconv.FormatBool(v.b)
 	default:

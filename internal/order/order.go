@@ -135,18 +135,31 @@ func (r *Relation) Add(i, j int) []Pair {
 // pair. It implements the axiom ϕ8: once te[A] is known, every tuple is
 // at most as accurate as the tuples carrying that value.
 func (r *Relation) AddAllTo(group []int, visit func(from, to int)) {
+	r.AddAllTo32(toInt32(group), visit)
+}
+
+// AddAllTo32 is AddAllTo over an int32 group — the chase's ϕ8 firing
+// path hands the value-ID equality class straight through.
+func (r *Relation) AddAllTo32(group []int32, visit func(from, to int)) {
 	if len(group) == 0 {
 		return
 	}
 	w := r.w
 	mask := r.mask()
 	for _, g := range group {
-		row := r.row(g)
+		row := r.row(int(g))
 		for wi := 0; wi < w; wi++ {
 			mask[wi] |= row[wi]
 		}
 		mask[g>>6] |= 1 << (uint(g) & 63)
 	}
+	r.addMask(mask, visit)
+}
+
+// addMask ORs mask into every row, visiting each newly derived pair;
+// the closure-restoring core shared by the AddAllTo variants.
+func (r *Relation) addMask(mask []uint64, visit func(from, to int)) {
+	w := r.w
 	for p := 0; p < r.n; p++ {
 		row := r.row(p)
 		for wi := 0; wi < w; wi++ {
@@ -170,6 +183,25 @@ func (r *Relation) AddAllTo(group []int, visit func(from, to int)) {
 // initial relation with the value-equality cliques of axiom ϕ9; callers
 // must only use it on an empty relation where cliques are closure-safe.
 func (r *Relation) SetClique(members []int) {
+	r.SetClique32(toInt32(members))
+}
+
+// toInt32 widens an index list for the 32-bit bulk operations, which
+// are the implementation (the chase hands value-ID groups over as
+// []int32; the []int wrappers exist for callers and tests that index
+// with int).
+func toInt32(xs []int) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[i] = int32(x)
+	}
+	return out
+}
+
+// SetClique32 is SetClique over int32 member lists — the value-ID
+// groups of the chase index their equality classes as []int32, and the
+// seeding hot path should not copy them into []int first.
+func (r *Relation) SetClique32(members []int32) {
 	if len(members) == 0 {
 		return
 	}
@@ -179,11 +211,11 @@ func (r *Relation) SetClique(members []int) {
 		mask[m>>6] |= 1 << (uint(m) & 63)
 	}
 	for _, m := range members {
-		row := r.row(m)
+		row := r.row(int(m))
 		for wi := 0; wi < w; wi++ {
 			row[wi] |= mask[wi]
 		}
-		r.markRow(m)
+		r.markRow(int(m))
 	}
 }
 
@@ -193,6 +225,11 @@ func (r *Relation) SetClique(members []int) {
 // safety as for SetClique (nulls form a clique that reaches all
 // non-null tuples, which have no outgoing edges yet).
 func (r *Relation) SetBelow(los, his []int) {
+	r.SetBelow32(toInt32(los), toInt32(his))
+}
+
+// SetBelow32 is SetBelow over int32 index lists; see SetClique32.
+func (r *Relation) SetBelow32(los, his []int32) {
 	if len(los) == 0 || len(his) == 0 {
 		return
 	}
@@ -202,11 +239,11 @@ func (r *Relation) SetBelow(los, his []int) {
 		mask[h>>6] |= 1 << (uint(h) & 63)
 	}
 	for _, l := range los {
-		row := r.row(l)
+		row := r.row(int(l))
 		for wi := 0; wi < w; wi++ {
 			row[wi] |= mask[wi]
 		}
-		r.markRow(l)
+		r.markRow(int(l))
 	}
 }
 

@@ -1,0 +1,70 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestPerEntityElapsed checks that every pipeline Result — batch,
+// update stream and snapshot — carries a positive per-entity wall-clock
+// time, and that it is not just a copy of the batch total.
+func TestPerEntityElapsed(t *testing.T) {
+	ds := testDataset(t, 12)
+	ents := instances(ds)
+	cfg := Config{Master: ds.Master, Rules: ds.Rules, Workers: 4, TopK: 2}
+
+	results, sum, err := Run(ents, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i, r := range results {
+		if r.Elapsed <= 0 {
+			t.Fatalf("batch entity %d has Elapsed %v", i, r.Elapsed)
+		}
+		total += int64(r.Elapsed)
+	}
+	if sum.Elapsed <= 0 {
+		t.Fatal("summary lost its batch Elapsed")
+	}
+
+	u, err := NewUpdater(ents[0].Schema(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups []Update
+	for i, ie := range ents[:4] {
+		ups = append(ups, Update{Key: string(rune('a' + i)), Tuples: ie.Tuples()})
+	}
+	ures, _, err := u.Apply(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ures {
+		if r.Elapsed <= 0 {
+			t.Fatalf("update entity %d has Elapsed %v", i, r.Elapsed)
+		}
+	}
+	// A failed absorption still reports how long it took.
+	bad := model.MustTuple(model.MustSchema("other", "z"), model.NullValue())
+	fres, _, err := u.Apply([]Update{{Key: "a", Tuples: []*model.Tuple{bad}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres[0].Err == nil {
+		t.Fatal("wrong-schema tuple absorbed")
+	}
+	if fres[0].Elapsed <= 0 {
+		t.Fatal("failed entity lost its Elapsed")
+	}
+	_, sres, _, err := u.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range sres {
+		if r.Elapsed <= 0 {
+			t.Fatalf("snapshot entity %d has Elapsed %v", i, r.Elapsed)
+		}
+	}
+}

@@ -94,6 +94,11 @@ type Result struct {
 	Candidates []topk.Candidate
 	// Stats reports the candidate-search work (zero when no search ran).
 	Stats topk.Stats
+	// Elapsed is the wall-clock time this entity took: grounding (or
+	// extending), deduction and candidate search. Summary.Elapsed is
+	// the whole batch; per-entity times expose the skew a batch hides
+	// (one adversarial entity dominating an otherwise fast relation).
+	Elapsed time.Duration
 }
 
 // Status classifies the result for reporting.
@@ -312,13 +317,16 @@ func streamShared(shared *chase.Shared, entities []*model.EntityInstance, cfg Co
 
 // runEntity is the per-entity kernel: ground, deduce, search.
 func runEntity(i int, ie *model.EntityInstance, shared *chase.Shared, cfg *Config) Result {
+	start := time.Now()
 	out := Result{Index: i, Instance: ie}
 	g, err := shared.NewGrounding(ie, cfg.Options)
 	if err != nil {
 		out.Err = fmt.Errorf("pipeline: entity %d: %w", i, err)
+		out.Elapsed = time.Since(start)
 		return out
 	}
 	runGrounding(&out, g, cfg)
+	out.Elapsed = time.Since(start)
 	return out
 }
 

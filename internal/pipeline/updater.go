@@ -125,6 +125,8 @@ func (u *Updater) Apply(updates []Update) ([]Result, Summary, error) {
 	results := make([]Result, len(order))
 	next := make([]*chase.Grounding, len(order))
 	err := Each(u.cfg.workers(), len(order), func(i int) error {
+		entityStart := time.Now()
+		defer func() { results[i].Elapsed = time.Since(entityStart) }()
 		key := order[i]
 		out := &results[i]
 		out.Index = i
@@ -185,8 +187,10 @@ func (u *Updater) Snapshot() ([]string, []Result, Summary, error) {
 	keys := append([]string(nil), u.keys...)
 	results := make([]Result, len(keys))
 	err := Each(u.cfg.workers(), len(keys), func(i int) error {
+		entityStart := time.Now()
 		results[i].Index = i
 		runGrounding(&results[i], u.live[keys[i]], &u.cfg)
+		results[i].Elapsed = time.Since(entityStart)
 		return nil
 	})
 	if err != nil {

@@ -88,10 +88,14 @@ func MapWeight(scores map[string]map[string]float64) func(string, model.Value) f
 	}
 }
 
-// scoredValue is one ranked-list entry.
+// scoredValue is one ranked-list entry. The value's dictionary ID is
+// interned once when the list is built, so every candidate assembled
+// from the list carries a cached ID row and the chase-based check
+// never hashes a value.
 type scoredValue struct {
-	v model.Value
-	w float64
+	v  model.Value
+	w  float64
+	id uint32
 }
 
 // Candidate is one verified candidate target.
@@ -120,13 +124,21 @@ type problem struct {
 	zAttr []int           // schema positions of null attributes of te
 	lists [][]scoredValue // per zAttr, descending weight
 	pool  *chase.CheckerPool
+	dict  *model.Dict // the grounding's value dictionary
 	stats Stats
 }
 
 // newProblem derives the search space: the null attributes Z of te and
-// their ranked value lists.
+// their ranked value lists, every list value pre-interned in the
+// grounding's dictionary.
 func newProblem(g *chase.Grounding, te *model.Tuple, pref Preference) *problem {
-	p := &problem{g: g, te: te, pref: pref, pool: g.Pool()}
+	p := &problem{g: g, te: te, pref: pref, pool: g.Pool(), dict: g.Dict()}
+	// Intern the deduced target once (on a clone, so the caller's tuple
+	// is not touched): candidates are assembled from clones of p.te, so
+	// this makes their KNOWN attributes dictionary hits by cache, not
+	// per-check probes — the Z attributes get their IDs from the ranked
+	// lists below.
+	p.te = te.Clone().Intern(p.dict)
 	if pref.Weight == nil {
 		pref.Weight = OccurrenceWeight(g.Instance())
 		p.pref.Weight = pref.Weight
@@ -162,7 +174,7 @@ func newProblem(g *chase.Grounding, te *model.Tuple, pref Preference) *problem {
 		}
 		list := make([]scoredValue, len(vals))
 		for i, v := range vals {
-			list[i] = scoredValue{v: v, w: pref.Weight(attr, v)}
+			list[i] = scoredValue{v: v, w: pref.Weight(attr, v), id: p.dict.Intern(v)}
 		}
 		sortScored(list)
 		p.zAttr = append(p.zAttr, a)
@@ -204,11 +216,13 @@ func (p *problem) baseScore() float64 {
 	return s
 }
 
-// assemble builds a complete tuple from te and the chosen Z values.
-func (p *problem) assemble(zv []model.Value) *model.Tuple {
+// assemble builds a complete tuple from te and the chosen Z values,
+// carrying each value's cached dictionary ID so the chase check that
+// receives it resolves every attribute without a dictionary probe.
+func (p *problem) assemble(zv []scoredValue) *model.Tuple {
 	t := p.te.Clone()
 	for i, a := range p.zAttr {
-		t.SetAt(a, zv[i])
+		t.SetAtID(a, zv[i].v, p.dict, zv[i].id)
 	}
 	return t
 }
@@ -226,14 +240,17 @@ func (p *problem) exhausted() bool {
 	return p.pref.MaxChecks > 0 && p.stats.Checks >= p.pref.MaxChecks
 }
 
-// key identifies a Z-assignment for duplicate suppression.
-func zKey(zv []model.Value) string {
+// zKey identifies a Z-assignment for duplicate suppression and as the
+// deterministic last tie-break of the priority queues. It concatenates
+// value Keys — NOT dictionary IDs, which are assignment-order dependent
+// and would make tie-breaking (and so candidate order) run-dependent.
+func zKey(zv []scoredValue) string {
 	k := ""
-	for i, v := range zv {
+	for i, sv := range zv {
 		if i > 0 {
 			k += "\x1f"
 		}
-		k += v.Key()
+		k += sv.v.Key()
 	}
 	return k
 }

@@ -75,13 +75,11 @@ func RankJoinCTOpts(g *chase.Grounding, te *model.Tuple, pref Preference, opts R
 		var rec func(j int) error
 		rec = func(j int) error {
 			if j == m {
-				vals := make([]model.Value, m)
 				w := base
-				for x, sv := range zv {
-					vals[x] = sv.v
+				for _, sv := range zv {
 					w += sv.w
 				}
-				key := zKey(vals)
+				key := zKey(zv)
 				if seen[key] {
 					return nil
 				}
@@ -159,11 +157,7 @@ func RankJoinCTOpts(g *chase.Grounding, te *model.Tuple, pref Preference, opts R
 			}
 			o, ok := buffer.Pop()
 			if ok && (!emitMore || o.w >= emitTau) {
-				zv := make([]model.Value, m)
-				for x := range zv {
-					zv[x] = o.vals[x].v
-				}
-				t := p.assemble(zv)
+				t := p.assemble(o.vals)
 				return checkEvent{t: t, score: o.w, pops: p.stats.Pops, generated: p.stats.Generated}, true, nil
 			}
 			if ok {

@@ -58,14 +58,12 @@ func topkSearch(p *problem, k int, withCheck bool) ([]Candidate, error) {
 
 	mk := func(pos []int) *object {
 		o := &object{pos: pos, vals: make([]scoredValue, m), w: base}
-		zv := make([]model.Value, m)
 		for i, pi := range pos {
 			o.vals[i] = bufs[i][pi]
 			o.w += o.vals[i].w
 			o.posSum += pi
-			zv[i] = o.vals[i].v
 		}
-		o.key = zKey(zv)
+		o.key = zKey(o.vals)
 		return o
 	}
 
@@ -85,11 +83,7 @@ func topkSearch(p *problem, k int, withCheck bool) ([]Candidate, error) {
 		if !ok {
 			return checkEvent{}, false, nil
 		}
-		zv := make([]model.Value, m)
-		for i := range zv {
-			zv[i] = o.vals[i].v
-		}
-		t := p.assemble(zv)
+		t := p.assemble(o.vals)
 		for i := 0; i < m; i++ {
 			next := o.pos[i] + 1
 			if next >= len(bufs[i]) {
@@ -224,22 +218,23 @@ func (p *problem) repair(t *model.Tuple) (*model.Tuple, bool) {
 			continue
 		}
 		fixed := false
-		tryValue := func(v model.Value) bool {
-			partial.SetAt(a, v)
+		tryValue := func(v model.Value, id uint32) bool {
+			partial.SetAtID(a, v, p.dict, id)
 			if p.check(partial) {
 				return true
 			}
 			partial.SetAt(a, model.NullValue())
 			return false
 		}
-		if tryValue(t.At(a)) {
+		ownID := p.idOf(t, a)
+		if tryValue(t.At(a), ownID) {
 			continue
 		}
 		for _, sv := range p.lists[i] {
-			if sv.v.Equal(t.At(a)) {
+			if sv.id == ownID {
 				continue
 			}
-			if tryValue(sv.v) {
+			if tryValue(sv.v, sv.id) {
 				fixed = true
 				break
 			}
@@ -251,30 +246,49 @@ func (p *problem) repair(t *model.Tuple) (*model.Tuple, bool) {
 	return partial, true
 }
 
+// idOf resolves the dictionary ID of t's value at position a, using
+// the tuple's cached row when present (candidates assembled by the
+// search always carry one). An unknown value maps to the NoID
+// sentinel, which compares unequal to every ranked-list ID — exactly
+// the Equal semantics the pre-dictionary code had — without growing
+// the shared dictionary.
+func (p *problem) idOf(t *model.Tuple, a int) uint32 {
+	if id, ok := t.IDIn(p.dict, a); ok {
+		return id
+	}
+	if id, ok := p.dict.Lookup(t.At(a)); ok {
+		return id
+	}
+	return model.NoID
+}
+
 // repairAttrParallel fixes attribute a of partial by probing the value
 // sequence (t's own value first, then the ranked list) through the
 // speculative stream driver, stopping at the first pass.
 func (p *problem) repairAttrParallel(partial, t *model.Tuple, i, a, par int) bool {
 	own := t.At(a)
+	ownID := p.idOf(t, a)
 	li := -1 // -1 = own value, then ranked-list positions
 	next := func() (checkEvent, bool, error) {
 		for {
 			var v model.Value
+			var id uint32
 			if li < 0 {
-				v = own
+				v, id = own, ownID
 				li = 0
 			} else {
 				if li >= len(p.lists[i]) {
 					return checkEvent{}, false, nil
 				}
-				v = p.lists[i][li].v
+				sv := p.lists[i][li]
+				v, id = sv.v, sv.id
 				li++
-				if v.Equal(own) {
+				if id == ownID {
 					continue // sequential order probes the own value only once
 				}
 			}
 			cand := partial.Clone()
-			cand.SetAt(a, v)
+			cand.SetAtID(a, v, p.dict, id)
 			return checkEvent{t: cand}, true, nil
 		}
 	}
@@ -283,6 +297,7 @@ func (p *problem) repairAttrParallel(partial, t *model.Tuple, i, a, par int) boo
 	if len(oc.passes) == 0 {
 		return false
 	}
-	partial.SetAt(a, oc.passes[0].t.At(a))
+	chosen := oc.passes[0].t
+	partial.SetAtID(a, chosen.At(a), p.dict, p.idOf(chosen, a))
 	return true
 }

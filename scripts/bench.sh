@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench.sh — run the key micro-benchmarks and record them as JSON,
+# starting the perf-trajectory record (one BENCH_<tag>.json per PR).
+#
+# Usage:
+#   ./scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 1s; CI smoke uses 1x)
+#   COUNT      go test -count value      (default 1)
+#
+# The tracked benchmarks are the hot paths the performance PRs moved:
+#   BenchmarkCheckPooled     allocation-free candidate check  (PR 1/4)
+#   BenchmarkTopKCTParallel  speculative parallel top-k       (PR 1)
+#   BenchmarkIncrementalAdd  delta instantiation vs rebuild   (PR 3/4)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr4.json}"
+benchtime="${BENCHTIME:-1s}"
+count="${COUNT:-1}"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkCheckPooled$|BenchmarkTopKCTParallel|BenchmarkIncrementalAdd' \
+  -benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw"
+
+# Parse `go test -bench` lines into JSON records. A -benchmem line looks
+# like:  BenchmarkName-8  123  456 ns/op  789 B/op  12 allocs/op
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
+BEGIN { print "{"; printf "  \"generated\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"results\": [", date, benchtime; n = 0 }
+/^Benchmark/ && / ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2; ns = $3
+    bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op") bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, iters, ns, bytes, allocs
+}
+END { print "\n  ]\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out"
