@@ -17,6 +17,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/paperdata"
+	"repro/internal/pipeline"
 	"repro/internal/rule"
 	"repro/internal/topk"
 )
@@ -256,6 +257,48 @@ func BenchmarkIncrementalAdd(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := sh.NewGrounding(full, chase.Options{}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUpdaterApply measures one Apply batch over 32 disjoint-key
+// entities (create + deduce + top-3 search each) on the sharded
+// live-entity store, at one worker and at GOMAXPROCS workers. Since
+// PR 5 no global lock is held across deduction, so the batch scales
+// with the workers instead of serialising (on this 1-core container
+// the two timings coincide; the regression tests in
+// internal/pipeline/updater_shard_test.go enforce the non-blocking
+// behaviour itself, and the equivalence suites pin that worker count
+// never changes any result).
+func BenchmarkUpdaterApply(b *testing.B) {
+	const entities = 32
+	cfg := gen.MedConfig()
+	cfg.NumEntities = entities
+	ds := gen.Generate(cfg)
+	schema := ds.Entities[0].Instance.Schema()
+	shared, err := chase.NewShared(schema, ds.Master, ds.Rules)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ups := make([]pipeline.Update, entities)
+	for i, e := range ds.Entities {
+		ups[i] = pipeline.Update{Key: fmt.Sprintf("e%02d", i), Tuples: e.Instance.Tuples()}
+	}
+	par := runtime.GOMAXPROCS(0)
+	if par < 2 {
+		par = 2 // keep the two legs distinct even on a 1-core machine
+	}
+	for _, workers := range []int{1, par} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pcfg := pipeline.Config{Workers: workers, TopK: 3,
+				Pref: topk.Preference{MaxChecks: 2000}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				u := pipeline.NewUpdaterShared(shared, pcfg)
+				if _, sum, err := u.Apply(ups); err != nil || sum.Errors > 0 {
+					b.Fatalf("apply: err=%v errors=%d", err, sum.Errors)
 				}
 			}
 		})

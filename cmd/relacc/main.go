@@ -33,7 +33,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -135,7 +137,7 @@ func main() {
 		fmt.Println("specification is Church-Rosser")
 		printTarget(ie.Schema(), res.Target)
 	case "topk":
-		a, err := parseAlgo(*algo)
+		a, err := pipeline.ParseAlgorithm(*algo)
 		if err != nil {
 			fatal(err)
 		}
@@ -258,7 +260,7 @@ func runBatch(a batchArgs) {
 		fmt.Fprintln(os.Stderr, "relacc: batch needs exactly one of -by (identifier column) or -key (ER key attributes)")
 		os.Exit(2)
 	}
-	alg, err := parseAlgo(a.algo)
+	alg, err := pipeline.ParseAlgorithm(a.algo)
 	if err != nil {
 		fatal(err)
 	}
@@ -335,7 +337,7 @@ func runAppend(a appendArgs) {
 		fmt.Fprintln(os.Stderr, "relacc: append needs -by (the identifier column routing delta tuples)")
 		os.Exit(2)
 	}
-	alg, err := parseAlgo(a.algo)
+	alg, err := pipeline.ParseAlgorithm(a.algo)
 	if err != nil {
 		fatal(err)
 	}
@@ -470,18 +472,60 @@ func settledTarget(r pipeline.Result) *model.Tuple {
 // writeSettled writes the settled targets as CSV, shared by the batch
 // and append -o paths.
 func writeSettled(path string, schema *model.Schema, settled []*model.Tuple, entities int) {
-	f, err := os.Create(path)
-	if err != nil {
-		fatal(err)
-	}
-	if err := csvio.WriteRelation(f, schema, settled); err != nil {
-		f.Close()
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := atomicWrite(path, func(w io.Writer) error {
+		return csvio.WriteRelation(w, schema, settled)
+	}); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d settled targets (of %d entities) to %s\n", len(settled), entities, path)
+}
+
+// atomicWrite writes path through a temp file in the same directory
+// plus a rename, so a run that dies mid-write (a later fatal, a write
+// error, a kill) never leaves a truncated or partial file where the
+// caller asked for output — path either keeps its previous content or
+// holds the complete new one.
+func atomicWrite(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		// A bare filename must get its temp file in the SAME directory:
+		// CreateTemp("") would use os.TempDir, and renaming out of a
+		// tmpfs /tmp fails cross-device.
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	// CreateTemp makes the file 0600; restore os.Create semantics so
+	// the rename does not silently turn a shared output owner-only —
+	// keep an existing destination's mode, else 0666 filtered by the
+	// umask, exactly what os.Create would have produced.
+	var mode os.FileMode
+	if st, err := os.Stat(path); err == nil {
+		mode = st.Mode().Perm()
+	} else {
+		mode = os.FileMode(0o666) &^ os.FileMode(processUmask())
+	}
+	if err := f.Chmod(mode); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
 }
 
 // printEntityLine renders one per-entity verdict; batch labels entities
@@ -508,35 +552,13 @@ func printEntityLine(label string, r pipeline.Result, withTiming bool) {
 	fmt.Println(line)
 }
 
-// groupUpdates groups a relation's tuples into keyed updates by exact
-// match on the identifier column, preserving first-seen order, and
-// returns the display labels alongside (Update.Key is the value's
-// type-tagged identity key; the label is what the column actually
-// says). Null keys are rejected: append mode needs a routable
-// identifier.
+// groupUpdates routes a relation's tuples into keyed updates on the
+// shared pipeline helper; append mode keys by the value's type-tagged
+// identity (Value.Key), with the display label carrying what the
+// column actually says.
 func groupUpdates(tuples []*model.Tuple, schema *model.Schema, by string) ([]pipeline.Update, []string, error) {
-	idx := schema.Index(by)
-	if idx < 0 {
-		return nil, nil, fmt.Errorf("column %q is not in the schema", by)
-	}
-	at := map[string]int{}
-	var ups []pipeline.Update
-	var labels []string
-	for i, t := range tuples {
-		v := t.At(idx)
-		if v.IsNull() {
-			return nil, nil, fmt.Errorf("row %d has a null %s value; append mode needs a routable identifier", i+1, by)
-		}
-		k := v.Key()
-		if j, ok := at[k]; ok {
-			ups[j].Tuples = append(ups[j].Tuples, t)
-		} else {
-			at[k] = len(ups)
-			ups = append(ups, pipeline.Update{Key: k, Tuples: []*model.Tuple{t}})
-			labels = append(labels, v.String())
-		}
-	}
-	return ups, labels, nil
+	return pipeline.GroupUpdates(tuples, schema, by,
+		func(v model.Value) (string, error) { return v.Key(), nil })
 }
 
 // remapTuples rebuilds tuples read under one schema object onto the
@@ -561,18 +583,6 @@ func remapTuples(tuples []*model.Tuple, from, to *model.Schema) ([]*model.Tuple,
 		out[i] = nt
 	}
 	return out, nil
-}
-
-func parseAlgo(name string) (core.Algorithm, error) {
-	switch name {
-	case "topkct":
-		return core.AlgoTopKCT, nil
-	case "rankjoin":
-		return core.AlgoRankJoinCT, nil
-	case "topkcth":
-		return core.AlgoTopKCTh, nil
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
 func printTarget(schema *model.Schema, t *model.Tuple) {

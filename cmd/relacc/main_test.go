@@ -1,0 +1,164 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAtomicWrite pins the temp-file-plus-rename mechanism the -o paths
+// rely on: success replaces the destination completely, failure leaves
+// the previous content byte-identical, and neither path strands a temp
+// file next to the output.
+func TestAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(path, []byte("old content\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := atomicWrite(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new content\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new content\n" {
+		t.Fatalf("after success: %q", got)
+	}
+
+	// A writer that emits half the output and then fails models the
+	// truncated-CSV bug: the destination must keep the SUCCESSFUL run's
+	// content, not the torn prefix.
+	boom := errors.New("boom")
+	err = atomicWrite(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "torn pre"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "new content\n" {
+		t.Fatalf("failed write touched the destination: %q", got)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "out.csv" {
+			t.Fatalf("stranded temp file %q", e.Name())
+		}
+	}
+}
+
+// TestAtomicWriteBareFilename: a destination with no directory part
+// (`-o fused.csv`, as the README shows) must stage its temp file in
+// the CURRENT directory, not os.TempDir — renaming out of a tmpfs
+// /tmp would fail cross-device.
+func TestAtomicWriteBareFilename(t *testing.T) {
+	dir := t.TempDir()
+	// os.Chdir + restore rather than t.Chdir: CI builds at the go.mod
+	// language version (1.22), which predates testing.T.Chdir.
+	prev, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(prev) })
+	if err = atomicWrite("out.csv", func(w io.Writer) error {
+		_, err := io.WriteString(w, "bare\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := os.ReadFile(filepath.Join(dir, "out.csv")); err != nil || string(got) != "bare\n" {
+		t.Fatalf("bare-filename write: %q, %v", got, err)
+	}
+	// A fresh destination gets os.Create's mode: 0666 through the
+	// process umask — neither CreateTemp's 0600 nor an umask-ignoring
+	// blanket 0644.
+	um := processUmask()
+	st, err := os.Stat(filepath.Join(dir, "out.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := os.FileMode(0o666) &^ os.FileMode(um); st.Mode().Perm() != want {
+		t.Fatalf("fresh output mode = %v, want %v (umask %04o)", st.Mode().Perm(), want, um)
+	}
+}
+
+// TestBatchWritesSettledCSV drives the real binary end to end: a small
+// relation is grouped by id, deduced, and -o must hold the settled
+// targets with no temp droppings left behind.
+func TestBatchWritesSettledCSV(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	data := filepath.Join(dir, "relation.csv")
+	rules := filepath.Join(dir, "rules.txt")
+	out := filepath.Join(dir, "settled.csv")
+	// Two entities: m1 has conflicting rnds/jersey settled by the rules
+	// (higher rnds is more current and carries the jersey number); m2 is
+	// a singleton and settles trivially.
+	if err := os.WriteFile(data, []byte(
+		"id,league,rnds,jersey\n"+
+			"m1,east,30,45\n"+
+			"m1,east,80,23\n"+
+			"m2,west,10,9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rules, []byte(
+		"phi1: t1[league] = t2[league] , t1[rnds] < t2[rnds] -> t1 <= t2 @ rnds\n"+
+			"phi2: t1 < t2 @ rnds -> t1 <= t2 @ jersey\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "run", ".", "batch",
+		"-data", data, "-rules", rules, "-by", "id", "-o", out)
+	cmd.Env = os.Environ()
+	outBytes, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("relacc batch: %v\n%s", err, outBytes)
+	}
+	if !strings.Contains(string(outBytes), "settled targets") {
+		t.Fatalf("unexpected output:\n%s", outBytes)
+	}
+	content, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(content)), "\n")
+	if len(lines) != 3 { // header + one settled target per entity
+		t.Fatalf("settled CSV holds %d lines:\n%s", len(lines), content)
+	}
+	if lines[0] != "id,league,rnds,jersey" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(string(content), "m1,east,80,23") {
+		t.Fatalf("m1 not settled on the more accurate tuple:\n%s", content)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("stranded temp file %q", e.Name())
+		}
+	}
+}

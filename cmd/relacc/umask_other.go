@@ -1,0 +1,7 @@
+//go:build !unix
+
+package main
+
+// processUmask: no umask outside unix; 0 leaves fresh outputs at
+// 0666, which is what os.Create produces on such platforms anyway.
+func processUmask() int { return 0 }

@@ -1,0 +1,14 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// processUmask reads the process umask (set-and-restore is the only
+// POSIX way to read it; the window where it is zeroed is before any
+// concurrent file creation this CLI performs).
+func processUmask() int {
+	um := syscall.Umask(0)
+	syscall.Umask(um)
+	return um
+}

@@ -1,0 +1,186 @@
+// Command relaccd is the relative-accuracy serving daemon: it seeds a
+// sharded update stream from a relation CSV and serves evidence
+// appends and deduction queries over HTTP/JSON until shut down.
+//
+//	relaccd -data seed.csv -rules rules.txt -by id [-master master.csv]
+//	        [-addr 127.0.0.1:8080] [-workers N] [-topk K] [-algo topkct|rankjoin|topkcth]
+//	        [-max-inflight N]
+//
+// The CSV's header defines the entity schema every appended tuple must
+// conform to; its rows (may be none) are grouped into entities by the
+// -by identifier column and deduced once at startup. -topk configures
+// the candidate search run when an APPEND leaves an entity incomplete
+// (0 = deduce only); the /topk query endpoint picks its own k and algo
+// per request. The daemon listens on -addr (use port 0 to let the
+// kernel pick; the chosen address is printed), serves until SIGINT or
+// SIGTERM, then drains in-flight requests and exits 0.
+//
+// See internal/server for the routes and the JSON wire format, and
+// README.md for a curl quickstart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/csvio"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/rule"
+	"repro/internal/ruledsl"
+	"repro/internal/server"
+	"repro/internal/topk"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	dataPath := flag.String("data", "", "seed relation CSV; its header defines the schema (required)")
+	masterPath := flag.String("master", "", "master relation CSV")
+	rulesPath := flag.String("rules", "", "accuracy rule file (required)")
+	by := flag.String("by", "", "identifier column grouping seed rows into entities (required with seed rows)")
+	workers := flag.Int("workers", 0, "concurrent entities per Apply batch (0 = GOMAXPROCS)")
+	topK := flag.Int("topk", 0, "candidates searched when an append leaves an entity incomplete (0 = deduce only)")
+	algo := flag.String("algo", "topkct", "append-time top-k algorithm: topkct, rankjoin or topkcth")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrently served requests (0 = 256)")
+	maxChecks := flag.Int("max-checks", 100_000, "chase-check budget per candidate search; exhausting it returns the candidates found so far (0 = unlimited)")
+	maxTopK := flag.Int("max-k", 0, "largest ?k= a topk query may request (0 = 100)")
+	flag.Parse()
+	if *dataPath == "" || *rulesPath == "" {
+		fmt.Fprintln(os.Stderr, "relaccd: -data and -rules are required")
+		os.Exit(2)
+	}
+	alg, err := pipeline.ParseAlgorithm(*algo)
+	if err != nil {
+		fatal(err)
+	}
+
+	schema, tuples, err := csvio.ReadRelationFile(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(tuples) > 0 && *by == "" {
+		fmt.Fprintln(os.Stderr, "relaccd: -by is required to group the seed rows into entities")
+		os.Exit(2)
+	}
+	var im *model.MasterRelation
+	if *masterPath != "" {
+		mf, err := os.Open(*masterPath)
+		if err != nil {
+			fatal(err)
+		}
+		im, err = csvio.ReadMaster(mf, "master")
+		mf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	text, err := os.ReadFile(*rulesPath)
+	if err != nil {
+		fatal(err)
+	}
+	var ms *model.Schema
+	if im != nil {
+		ms = im.Schema()
+	}
+	parsed, err := ruledsl.Parse(string(text))
+	if err != nil {
+		fatal(err)
+	}
+	rules, err := rule.NewSet(schema, ms, parsed...)
+	if err != nil {
+		fatal(err)
+	}
+
+	u, err := pipeline.NewUpdater(schema, pipeline.Config{
+		Master:  im,
+		Rules:   rules,
+		Workers: *workers,
+		TopK:    *topK,
+		Algo:    alg,
+		// Bound the work ONE candidate search may do: the problem is
+		// NP-complete, and a serving daemon must degrade to partial
+		// candidates rather than let one entity pin a core forever.
+		Pref: topk.Preference{MaxChecks: *maxChecks},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if len(tuples) > 0 {
+		// Unlike cmd/relacc's append mode (type-tagged Value.Key
+		// routing), the daemon keys by the identifier's string
+		// rendering: the HTTP key namespace is plain strings, so the
+		// "m1" a client POSTs evidence under must be the "m1" the seed
+		// created — and '/' cannot be addressed by the per-entity
+		// routes at all.
+		ups, _, err := pipeline.GroupUpdates(tuples, schema, *by,
+			func(v model.Value) (string, error) {
+				k := v.String()
+				if err := server.ValidateKey(k); err != nil {
+					return "", fmt.Errorf("identifier not HTTP-routable: %w", err)
+				}
+				return k, nil
+			})
+		if err != nil {
+			fatal(err)
+		}
+		if _, sum, err := u.Apply(ups); err != nil {
+			fatal(err)
+		} else {
+			fmt.Printf("relaccd: seeded %s\n", sum.String())
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{
+		Handler: server.New(u, server.Options{MaxInFlight: *maxInFlight, MaxTopK: *maxTopK}).Handler(),
+		// ReadTimeout covers the whole request read, so a slow-body
+		// client cannot hold a MaxInFlight slot indefinitely inside the
+		// JSON decoder. No WriteTimeout: a large top-k query may
+		// legitimately take long to answer.
+		ReadTimeout:       30 * time.Second,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("relaccd: serving schema %s (%d entities) on http://%s\n",
+		schema.Name(), u.Len(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	select {
+	case err := <-served:
+		fatal(err) // the listener died under us
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("relaccd: draining in-flight requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		// A drain that outlives the timeout (a long top-k query —
+		// WriteTimeout is deliberately unset) is a normal termination,
+		// not a crash: cut the stragglers and still exit 0.
+		fmt.Fprintln(os.Stderr, "relaccd: drain timed out, closing in-flight connections:", err)
+		srv.Close()
+	}
+	if err := <-served; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Println("relaccd: shut down cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "relaccd:", err)
+	os.Exit(1)
+}

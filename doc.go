@@ -14,16 +14,21 @@
 // a worker pool, and the update stream absorbs evidence deltas into
 // live entities incrementally — re-deducing only what a delta touches,
 // with targets, verdicts, candidates and stats byte-identical to a
-// from-scratch run. Internally the deduction core is
+// from-scratch run. The update stream is a sharded live-entity store
+// (no lock held across deduction: disjoint keys absorb concurrently,
+// readers never wait) and serves over HTTP/JSON through
+// relacc.NewServer and the cmd/relaccd daemon. Internally the
+// deduction core is
 // dictionary-encoded: every distinct attribute value is interned once
 // per schema (model.Dict) and the chase, trigger index and candidate
 // checks run over dense integer value IDs.
 //
 // Start at package relacc, the public API: per-entity Sessions
 // (relacc.NewSession, Session.AddTuples), multi-entity batches
-// (relacc.Run), update streams (relacc.NewUpdater), CSV loading and
-// entity grouping. cmd/relacc is the CLI (single-entity deduce /
-// topk / check plus multi-entity batch and append modes), cmd/experiments
+// (relacc.Run), update streams (relacc.NewUpdater), the serving layer
+// (relacc.NewServer), CSV loading and entity grouping. cmd/relacc is
+// the CLI (single-entity deduce / topk / check plus multi-entity batch
+// and append modes), cmd/relaccd the serving daemon, cmd/experiments
 // reproduces the paper's evaluation, and the examples/ directory holds
 // runnable walkthroughs. DESIGN.md maps every subsystem, the data flow
 // and the concurrency invariants; EXPERIMENTS.md records measured

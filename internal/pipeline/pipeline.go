@@ -42,6 +42,21 @@ const (
 	AlgoTopKCTh    = framework.AlgoTopKCTh
 )
 
+// ParseAlgorithm maps an algorithm's wire name — what cmd/relacc flags
+// and the relaccd query parameters use — to its Algorithm value:
+// "topkct", "rankjoin" or "topkcth".
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "topkct":
+		return AlgoTopKCT, nil
+	case "rankjoin":
+		return AlgoRankJoinCT, nil
+	case "topkcth":
+		return AlgoTopKCTh, nil
+	}
+	return 0, fmt.Errorf("pipeline: unknown algorithm %q", name)
+}
+
 // Config tunes one batch run. The zero value deduces only (no candidate
 // search) on GOMAXPROCS workers.
 type Config struct {
@@ -78,13 +93,28 @@ func (cfg *Config) workers() int {
 type Result struct {
 	// Index is the entity's position in the input slice.
 	Index int
+	// Key is the entity's routing key when the result came from an
+	// update stream (Apply, Query, Snapshot); empty for batch runs,
+	// whose entities are identified by Index alone.
+	Key string
+	// Version is the grounding version the result was deduced on: 0
+	// for a batch entity or a just-created stream entity, k after k
+	// absorbed deltas. It is the version at deduction time — under
+	// concurrent Apply calls the live entity may have moved on by the
+	// time the caller reads it. When Err reports a failed ABSORPTION
+	// no deduction ran: Version then carries the version the entity
+	// kept (its pre-delta version, or -1 when the failure was the
+	// entity's creation and no version exists).
+	Version int
 	// Instance is the entity instance the result describes.
 	Instance *model.EntityInstance
 	// Err reports a per-entity failure; the batch continues with the
 	// other entities. On a grounding error Deduction is nil; on a
 	// candidate-search error Deduction still carries the (incomplete)
-	// deduction outcome the search started from. Candidates and Stats
-	// are always zero when Err is set.
+	// deduction outcome the search started from, and Candidates/Stats
+	// carry whatever the aborted search verified before failing (the
+	// partial candidates of a budget abort; empty for errors that
+	// stop a search before it checks anything).
 	Err error
 	// Deduction is the chase outcome: Church-Rosser verdict, deduced
 	// target and terminal accuracy orders.
@@ -336,6 +366,7 @@ func runEntity(i int, ie *model.EntityInstance, shared *chase.Shared, cfg *Confi
 // like a fresh batch entity.
 func runGrounding(out *Result, g *chase.Grounding, cfg *Config) {
 	out.Instance = g.Instance()
+	out.Version = g.Version()
 	out.Deduction = g.Run(nil)
 	if !out.Deduction.CR || out.Deduction.Target.Complete() || cfg.TopK <= 0 {
 		return
@@ -354,12 +385,25 @@ func runGrounding(out *Result, g *chase.Grounding, cfg *Config) {
 	default:
 		cands, stats, err = topk.TopKCT(g, out.Deduction.Target, pref)
 	}
-	if err != nil {
-		out.Err = fmt.Errorf("pipeline: entity %d: %w", out.Index, err)
-		return
-	}
+	// Keep the partial candidates and Stats an aborted search returns
+	// (RankJoinCT's budget abort verifies candidates before it gives
+	// up) — the serving layer degrades to partials, it does not
+	// swallow them.
 	out.Candidates = cands
 	out.Stats = stats
+	if err != nil {
+		// Label stream results by key — "entity 0" would be all a
+		// server operator ever saw of Query failures, whose Index is
+		// meaningless. Like the extend-phase errors, this makes the
+		// Err STRING of keyed results differ from a fresh batch's
+		// index-labelled one; the equivalence suites compare keyed
+		// streams against batches only where no search error occurs.
+		if out.Key != "" {
+			out.Err = fmt.Errorf("pipeline: entity %q: %w", out.Key, err)
+		} else {
+			out.Err = fmt.Errorf("pipeline: entity %d: %w", out.Index, err)
+		}
+	}
 }
 
 // Each runs f(i) for every i in [0, n) across w workers (w <= 0 means

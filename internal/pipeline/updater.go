@@ -8,11 +8,22 @@
 // entity costs O(‖Σ‖·n) instead of the O(‖Σ‖·n²) rebuild, and every
 // re-deduction is byte-identical to a fresh batch over the accumulated
 // instance (updater_test.go enforces this).
+//
+// The live entities are held in a sharded store: keys hash to one of
+// shardCount stripes, each stripe guards only its routing map, and all
+// per-entity work — extending the grounding, committing the new
+// version, re-deducing — happens under that entity's own lock. No
+// shard or store-wide lock is ever held across deduction, so batches
+// over disjoint keys run fully concurrently, two batches touching one
+// key serialise on that key alone, and the readers (Len, Keys,
+// Version, Snapshot, Query) answer from atomically published grounding
+// versions without waiting for any in-flight batch.
 package pipeline
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chase"
@@ -28,18 +39,93 @@ type Update struct {
 	Tuples []*model.Tuple
 }
 
-// Updater routes evidence deltas to live per-entity grounding versions.
-// Apply serialises internally, so concurrent producers may call it,
-// but the per-batch semantics are those of a sequential stream of
-// batches. The zero value is unusable; create one with NewUpdater or
-// NewUpdaterShared.
+// GroupUpdates groups a relation's tuples into keyed updates by exact
+// match on an identifier column, preserving first-seen order — the
+// routing both cmd/relacc's append mode and the relaccd seed perform.
+// keyOf renders a (non-null) identifier value into an Update key and
+// may reject unroutable renderings; labels carries each key's display
+// rendering (Value.String — what the column actually says, where keys
+// may be type-tagged). Null identifiers are rejected: update routing
+// needs a real key.
+func GroupUpdates(tuples []*model.Tuple, schema *model.Schema, by string, keyOf func(model.Value) (string, error)) ([]Update, []string, error) {
+	idx := schema.Index(by)
+	if idx < 0 {
+		return nil, nil, fmt.Errorf("pipeline: column %q is not in the schema", by)
+	}
+	at := map[string]int{}
+	var ups []Update
+	var labels []string
+	for i, t := range tuples {
+		v := t.At(idx)
+		if v.IsNull() {
+			return nil, nil, fmt.Errorf("pipeline: row %d has a null %s value; update routing needs an identifier", i+1, by)
+		}
+		k, err := keyOf(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pipeline: row %d: %w", i+1, err)
+		}
+		if j, ok := at[k]; ok {
+			ups[j].Tuples = append(ups[j].Tuples, t)
+		} else {
+			at[k] = len(ups)
+			ups = append(ups, Update{Key: k, Tuples: []*model.Tuple{t}})
+			labels = append(labels, v.String())
+		}
+	}
+	return ups, labels, nil
+}
+
+// shardCount is the number of stripes the live-entity map is split
+// into; a power of two so routing is a mask. 64 stripes keep routing
+// contention negligible far past the worker counts a batch can use.
+const shardCount = 64
+
+// shard is one stripe of the live-entity store. Its lock guards only
+// the routing map — never any entity's grounding work.
+type shard struct {
+	mu       sync.RWMutex
+	entities map[string]*liveEntity
+}
+
+// liveEntity is one keyed entity of the stream. mu serialises writers
+// (extend + commit + re-deduce) so each key's history is linear; g is
+// the committed grounding version, published atomically so readers
+// never take mu. g is nil only transiently, while a creation is in
+// flight: a failed creation withdraws its routing entry again (see
+// applyOne), so the shard maps hold no permanent tombstones.
+type liveEntity struct {
+	mu sync.Mutex
+	g  atomic.Pointer[chase.Grounding]
+}
+
+// Updater routes evidence deltas to live per-entity grounding versions
+// held in a sharded store. Concurrent producers may call Apply:
+// batches over disjoint keys proceed in parallel, batches sharing a
+// key serialise per entity, and each entity observes a linear sequence
+// of deltas. The read side (Len, Keys, Version, Snapshot, Query) never
+// blocks on an in-flight batch's deduction. The zero value is
+// unusable; create one with NewUpdater or NewUpdaterShared.
 type Updater struct {
 	shared *chase.Shared
 	cfg    Config
 
-	mu   sync.Mutex
-	live map[string]*chase.Grounding
-	keys []string // insertion order, for deterministic enumeration
+	shards [shardCount]shard
+
+	// keyMu guards the registry of successfully created entities. Keys
+	// register in batch order when their creating Apply returns, so a
+	// sequential caller observes exactly the pre-sharding first-seen
+	// order; a brand-new entity answers Version(key) >= 0 as soon as
+	// its version commits, which may be moments before Len/Keys count
+	// it (only while its creating Apply is still running).
+	keyMu sync.Mutex
+	keys  []string // first-registration order, for deterministic enumeration
+
+	// testHookMidApply, when non-nil, runs after an entity's new
+	// grounding version is committed but before its re-deduction,
+	// holding only that entity's lock — tests freeze a batch
+	// mid-deduction with it to prove readers and disjoint keys are
+	// never blocked.
+	testHookMidApply func(key string)
 }
 
 // NewUpdater validates cfg.Rules against the schema (and cfg.Master)
@@ -56,66 +142,119 @@ func NewUpdater(schema *model.Schema, cfg Config) (*Updater, error) {
 // groundwork; cfg.Master and cfg.Rules are ignored in favour of the
 // groundwork's own.
 func NewUpdaterShared(shared *chase.Shared, cfg Config) *Updater {
-	return &Updater{shared: shared, cfg: cfg, live: make(map[string]*chase.Grounding)}
+	u := &Updater{shared: shared, cfg: cfg}
+	for i := range u.shards {
+		u.shards[i].entities = make(map[string]*liveEntity)
+	}
+	return u
+}
+
+// Schema returns the entity schema every update must conform to.
+func (u *Updater) Schema() *model.Schema { return u.shared.Schema() }
+
+// shardFor routes a key to its stripe (FNV-1a, masked).
+func (u *Updater) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &u.shards[h&(shardCount-1)]
+}
+
+// lookup returns the keyed entity record, or nil when the key has
+// never been routed.
+func (u *Updater) lookup(key string) *liveEntity {
+	s := u.shardFor(key)
+	s.mu.RLock()
+	e := s.entities[key]
+	s.mu.RUnlock()
+	return e
+}
+
+// entity returns the keyed entity record, creating the routing entry
+// if needed. The shard lock covers only the map access.
+func (u *Updater) entity(key string) *liveEntity {
+	s := u.shardFor(key)
+	s.mu.RLock()
+	e := s.entities[key]
+	s.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	s.mu.Lock()
+	if e = s.entities[key]; e == nil {
+		e = &liveEntity{}
+		s.entities[key] = e
+	}
+	s.mu.Unlock()
+	return e
 }
 
 // Len reports how many live entities the stream holds.
 func (u *Updater) Len() int {
-	u.mu.Lock()
-	defer u.mu.Unlock()
+	u.keyMu.Lock()
+	defer u.keyMu.Unlock()
 	return len(u.keys)
 }
 
 // Keys returns the live entity keys in first-seen order.
 func (u *Updater) Keys() []string {
-	u.mu.Lock()
-	defer u.mu.Unlock()
+	u.keyMu.Lock()
+	defer u.keyMu.Unlock()
 	return append([]string(nil), u.keys...)
 }
 
 // Version reports how many deltas the keyed entity has absorbed (0 for
 // an entity created by its only batch so far, -1 for an unknown key).
+// It reads the atomically published version and never waits for an
+// in-flight batch.
 func (u *Updater) Version(key string) int {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	g, ok := u.live[key]
-	if !ok {
+	e := u.lookup(key)
+	if e == nil {
+		return -1
+	}
+	g := e.g.Load()
+	if g == nil {
 		return -1
 	}
 	return g.Version()
 }
 
-// Apply absorbs one batch of evidence deltas. Deltas are merged by key
-// (a batch may carry several updates for one entity; they apply in
-// batch order), each affected entity's grounding is extended — or
-// created, for new keys — and re-deduced concurrently on cfg.Workers
-// workers, and one Result per affected entity returns in first-
-// appearance order, with the Summary aggregated over them. Per-entity
-// failures report through Result.Err and never abort the batch, with
-// the same semantics per phase as the batch pipeline: when ABSORBING
-// the delta fails (a tuple of the wrong schema), the entity keeps its
-// previous grounding version, so the batch may be corrected and
-// retried; when absorption succeeds but the deduction's candidate
-// SEARCH fails (say, a check budget), the evidence is already in — the
-// version advances, Result.Deduction carries the chase outcome, and
-// retrying the same tuples would duplicate them (use Version to tell
-// the cases apart). Updates with an empty key fail the whole batch
-// before any work starts, as key routing is structural.
+// Apply absorbs one batch of evidence deltas. The whole batch is
+// validated first — an empty key anywhere fails the batch before any
+// entity is touched, as key routing is structural. Deltas are then
+// merged by key (a batch may carry several updates for one entity;
+// they apply in batch order), each affected entity's grounding is
+// extended — or created, for new keys — and re-deduced concurrently on
+// cfg.Workers workers, and one Result per affected entity returns in
+// first-appearance order, with the Summary aggregated over them. Each
+// entity's extend + re-deduce runs under that entity's lock only, so
+// concurrent Apply calls over disjoint keys proceed in parallel while
+// updates to one key serialise per entity. Per-entity failures report
+// through Result.Err and never abort the batch, with the same
+// semantics per phase as the batch pipeline: when ABSORBING the delta
+// fails (a tuple of the wrong schema), the entity keeps its previous
+// grounding version, so the batch may be corrected and retried; when
+// absorption succeeds but the deduction's candidate SEARCH fails (say,
+// a check budget), the evidence is already in — the version advances,
+// Result.Deduction carries the chase outcome, and retrying the same
+// tuples would duplicate them (use Version to tell the cases apart).
 func (u *Updater) Apply(updates []Update) ([]Result, Summary, error) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
 	start := time.Now()
 	var sum Summary
 	if len(updates) == 0 {
 		sum.Elapsed = time.Since(start)
 		return nil, sum, nil
 	}
-	merged := make(map[string][]*model.Tuple, len(updates))
-	var order []string
 	for i, up := range updates {
 		if up.Key == "" {
-			return nil, sum, fmt.Errorf("pipeline: update %d has an empty key", i)
+			return nil, sum, fmt.Errorf("pipeline: update %d has an empty key; no update was applied", i)
 		}
+	}
+	merged := make(map[string][]*model.Tuple, len(updates))
+	var order []string
+	for _, up := range updates {
 		if _, ok := merged[up.Key]; !ok {
 			order = append(order, up.Key)
 		}
@@ -123,50 +262,29 @@ func (u *Updater) Apply(updates []Update) ([]Result, Summary, error) {
 	}
 
 	results := make([]Result, len(order))
-	next := make([]*chase.Grounding, len(order))
+	created := make([]bool, len(order))
 	err := Each(u.cfg.workers(), len(order), func(i int) error {
 		entityStart := time.Now()
 		defer func() { results[i].Elapsed = time.Since(entityStart) }()
-		key := order[i]
-		out := &results[i]
-		out.Index = i
-		g, live := u.live[key]
-		var err error
-		if live {
-			out.Instance = g.Instance()
-			g, err = g.Extend(merged[key]...)
-		} else {
-			// Set Instance up front so even a failed creation honours
-			// the Result contract (callers format r.Instance).
-			empty := model.NewEntityInstance(u.shared.Schema())
-			out.Instance = empty
-			var ie *model.EntityInstance
-			ie, err = empty.Extend(merged[key]...)
-			if err == nil {
-				out.Instance = ie
-				g, err = u.shared.NewGrounding(ie, u.cfg.Options)
-			}
-		}
-		if err != nil {
-			out.Err = fmt.Errorf("pipeline: entity %q: %w", key, err)
-			return nil // per-entity failure; the batch continues
-		}
-		next[i] = g
-		runGrounding(out, g, &u.cfg)
+		results[i].Index = i
+		created[i] = u.applyOne(order[i], merged[order[i]], &results[i])
 		return nil
 	})
 	if err != nil {
 		return nil, sum, err
 	}
+	// Register this batch's new entities in batch order, so key
+	// enumeration stays deterministic for sequential callers. Creation
+	// succeeds at most once per key ever (the creating goroutine held
+	// the entity lock and saw no committed version), so no record can
+	// be registered twice.
+	u.keyMu.Lock()
 	for i, key := range order {
-		if next[i] == nil {
-			continue // failed entity keeps its previous version
-		}
-		if _, ok := u.live[key]; !ok {
+		if created[i] {
 			u.keys = append(u.keys, key)
 		}
-		u.live[key] = next[i]
 	}
+	u.keyMu.Unlock()
 	for i := range results {
 		sum.add(&results[i], u.shared.Schema().Arity())
 	}
@@ -174,22 +292,123 @@ func (u *Updater) Apply(updates []Update) ([]Result, Summary, error) {
 	return results, sum, nil
 }
 
+// applyOne extends (or creates) one keyed entity and re-deduces it,
+// under that entity's lock alone; it reports whether this call
+// performed the entity's successful creation.
+func (u *Updater) applyOne(key string, tuples []*model.Tuple, out *Result) (createdNow bool) {
+	out.Key = key
+	var ent *liveEntity
+	for {
+		ent = u.entity(key)
+		ent.mu.Lock()
+		if u.lookup(key) == ent {
+			break
+		}
+		// A failed creator withdrew this record between our fetch and
+		// lock; retry on the current one, else our commit would land
+		// on an orphan no reader can reach.
+		ent.mu.Unlock()
+	}
+	defer ent.mu.Unlock()
+	g := ent.g.Load()
+	live := g != nil
+	var next *chase.Grounding
+	var err error
+	if live {
+		// Report the version the entity still answers from if the
+		// extend below fails; success overwrites it in runGrounding.
+		out.Version = g.Version()
+		out.Instance = g.Instance()
+		next, err = g.Extend(tuples...)
+	} else {
+		out.Version = -1 // no committed version exists yet
+		// Set Instance up front so even a failed creation honours
+		// the Result contract (callers format r.Instance).
+		empty := model.NewEntityInstance(u.shared.Schema())
+		out.Instance = empty
+		var ie *model.EntityInstance
+		ie, err = empty.Extend(tuples...)
+		if err == nil {
+			out.Instance = ie
+			next, err = u.shared.NewGrounding(ie, u.cfg.Options)
+		}
+	}
+	if err != nil {
+		out.Err = fmt.Errorf("pipeline: entity %q: %w", key, err)
+		if !live {
+			// Withdraw the routing entry a failed creation would
+			// otherwise leak: a stream of bad tuples under many
+			// distinct keys must not grow the shard maps forever.
+			// Same-key waiters blocked on ent.mu re-check currency and
+			// retry on a fresh record.
+			s := u.shardFor(key)
+			s.mu.Lock()
+			if s.entities[key] == ent {
+				delete(s.entities, key)
+			}
+			s.mu.Unlock()
+		}
+		return false // failed entity keeps its previous version
+	}
+	// Commit before deducing: the evidence is absorbed even if the
+	// candidate search below fails, exactly as documented on Apply.
+	ent.g.Store(next)
+	if u.testHookMidApply != nil {
+		u.testHookMidApply(key)
+	}
+	runGrounding(out, next, &u.cfg)
+	return !live
+}
+
+// Query re-deduces one keyed entity on its latest committed grounding
+// version, overriding the stream's candidate search with topK and algo
+// (topK < 0 keeps the stream's configured TopK; topK == 0 disables the
+// search). It takes no entity lock — grounding versions are immutable
+// and deduction runs on pooled engines — so queries never block or get
+// blocked by in-flight batches; a query racing an Apply on the same
+// key answers from whichever version is committed when it starts. The
+// second return is false for an unknown key.
+func (u *Updater) Query(key string, topK int, algo Algorithm) (Result, bool) {
+	var out Result
+	e := u.lookup(key)
+	if e == nil {
+		return out, false
+	}
+	g := e.g.Load()
+	if g == nil {
+		return out, false
+	}
+	start := time.Now()
+	cfg := u.cfg
+	if topK >= 0 {
+		cfg.TopK = topK
+	}
+	cfg.Algo = algo
+	out.Key = key
+	runGrounding(&out, g, &cfg)
+	out.Elapsed = time.Since(start)
+	return out, true
+}
+
 // Snapshot re-deduces every live entity (concurrently, per cfg) and
 // returns one Result per entity in first-seen key order, with keys
 // aligned by index — the "where does the whole stream stand" view a
 // caller needs after a run of deltas. Runs are cheap: each entity's
-// grounding already holds its chased base state.
+// grounding already holds its chased base state. Snapshot holds no
+// locks across deduction either: each entity is re-deduced on the
+// version committed when Snapshot reaches it, so concurrent producers
+// are not blocked (and a snapshot racing them is a per-entity
+// point-in-time view, not a cross-entity cut).
 func (u *Updater) Snapshot() ([]string, []Result, Summary, error) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
 	start := time.Now()
 	var sum Summary
-	keys := append([]string(nil), u.keys...)
+	keys := u.Keys()
 	results := make([]Result, len(keys))
 	err := Each(u.cfg.workers(), len(keys), func(i int) error {
 		entityStart := time.Now()
 		results[i].Index = i
-		runGrounding(&results[i], u.live[keys[i]], &u.cfg)
+		results[i].Key = keys[i]
+		runGrounding(&results[i], u.lookup(keys[i]).g.Load(), &u.cfg)
 		results[i].Elapsed = time.Since(entityStart)
 		return nil
 	})

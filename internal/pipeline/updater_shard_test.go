@@ -1,0 +1,330 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// TestUpdaterEmptyKeyLeavesBatchUntouched: Apply validates the WHOLE
+// batch before merging or mutating anything, so a mixed batch carrying
+// one empty key — even as its last element — leaves every entity's
+// version (and the key registry) exactly as it was.
+func TestUpdaterEmptyKeyLeavesBatchUntouched(t *testing.T) {
+	ds := testDataset(t, 2)
+	schema := ds.Entities[0].Instance.Schema()
+	u, err := NewUpdater(schema, Config{Master: ds.Master, Rules: ds.Rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Apply([]Update{
+		{Key: "a", Tuples: ds.Entities[0].Instance.Tuples()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := u.Version("a")
+
+	_, _, err = u.Apply([]Update{
+		{Key: "a", Tuples: ds.Entities[1].Instance.Tuples()[:1]}, // valid, listed first
+		{Key: "b", Tuples: ds.Entities[1].Instance.Tuples()},     // valid new key
+		{Key: "", Tuples: ds.Entities[1].Instance.Tuples()},      // poison pill, last
+	})
+	if err == nil {
+		t.Fatal("batch with an empty key was accepted")
+	}
+	if v := u.Version("a"); v != before {
+		t.Fatalf("rejected batch advanced entity a: version %d -> %d", before, v)
+	}
+	if v := u.Version("b"); v != -1 {
+		t.Fatalf("rejected batch created entity b (version %d)", v)
+	}
+	if u.Len() != 1 {
+		t.Fatalf("rejected batch changed the registry: %d keys", u.Len())
+	}
+}
+
+// TestUpdaterFailedCreationLeavesNoRecord: a failed creation must not
+// leak a routing entry — a stream of bad tuples under ever-fresh keys
+// would otherwise grow the shard maps without bound — and the key must
+// stay fully usable for a later, valid creation.
+func TestUpdaterFailedCreationLeavesNoRecord(t *testing.T) {
+	ds := testDataset(t, 1)
+	schema := ds.Entities[0].Instance.Schema()
+	u, err := NewUpdater(schema, Config{Master: ds.Master, Rules: ds.Rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := model.MustSchema("other", "x")
+	for i := 0; i < 3; i++ {
+		results, _, err := u.Apply([]Update{
+			{Key: "ghost", Tuples: []*model.Tuple{model.MustTuple(other, model.I(int64(i)))}},
+		})
+		if err != nil || results[0].Err == nil {
+			t.Fatalf("attempt %d: err=%v entityErr=%v", i, err, results[0].Err)
+		}
+	}
+	if e := u.lookup("ghost"); e != nil {
+		t.Fatal("failed creations left a routing entry behind")
+	}
+	if u.Len() != 0 || u.Version("ghost") != -1 {
+		t.Fatalf("failed creations registered state: len=%d version=%d", u.Len(), u.Version("ghost"))
+	}
+	// The key is not poisoned: a valid creation still works.
+	results, _, err := u.Apply([]Update{
+		{Key: "ghost", Tuples: ds.Entities[0].Instance.Tuples()},
+	})
+	if err != nil || results[0].Err != nil {
+		t.Fatalf("valid creation after failures: %v / %v", err, results[0].Err)
+	}
+	if u.Version("ghost") != 0 || u.Len() != 1 {
+		t.Fatalf("recovered key: version=%d len=%d", u.Version("ghost"), u.Len())
+	}
+}
+
+// TestUpdaterReadersDuringDeduction is the no-global-lock regression
+// test: while an Apply batch is frozen mid-deduction (version already
+// committed, re-deduction not yet run), Len, Keys, Version, Query and
+// Snapshot all complete, and an Apply over a DISJOINT key runs to
+// completion — none of them waits on the in-flight batch.
+func TestUpdaterReadersDuringDeduction(t *testing.T) {
+	ds := testDataset(t, 3)
+	schema := ds.Entities[0].Instance.Schema()
+	u, err := NewUpdater(schema, Config{Master: ds.Master, Rules: ds.Rules, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed two entities so the frozen batch extends a live one.
+	if _, _, err := u.Apply([]Update{
+		{Key: "frozen", Tuples: ds.Entities[0].Instance.Tuples()[:1]},
+		{Key: "settled", Tuples: ds.Entities[1].Instance.Tuples()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	u.testHookMidApply = func(key string) {
+		if key == "frozen" {
+			close(entered)
+			<-release
+		}
+	}
+	applied := make(chan error, 1)
+	go func() {
+		_, _, err := u.Apply([]Update{
+			{Key: "frozen", Tuples: ds.Entities[0].Instance.Tuples()[1:]},
+		})
+		applied <- err
+	}()
+	<-entered // the batch holds only entity "frozen"'s lock now
+
+	done := make(chan string, 8)
+	deadline := time.After(30 * time.Second)
+	step := func(name string, f func()) {
+		go func() { f(); done <- name }()
+		select {
+		case got := <-done:
+			if got != name {
+				t.Fatalf("step ordering: got %q, want %q", got, name)
+			}
+		case <-deadline:
+			t.Fatalf("%s blocked behind a mid-deduction batch", name)
+		}
+	}
+	step("Len", func() {
+		if n := u.Len(); n != 2 {
+			t.Errorf("Len = %d, want 2", n)
+		}
+	})
+	step("Keys", func() {
+		if ks := u.Keys(); len(ks) != 2 || ks[0] != "frozen" || ks[1] != "settled" {
+			t.Errorf("Keys = %v", ks)
+		}
+	})
+	step("Version", func() {
+		// The delta committed before the freeze point: the version has
+		// already advanced even though its re-deduction is in flight.
+		if v := u.Version("frozen"); v != 1 {
+			t.Errorf("Version(frozen) = %d, want 1", v)
+		}
+	})
+	step("Query", func() {
+		if _, ok := u.Query("settled", 0, AlgoTopKCT); !ok {
+			t.Error("Query(settled) unknown")
+		}
+	})
+	step("Snapshot", func() {
+		if _, _, _, err := u.Snapshot(); err != nil {
+			t.Errorf("Snapshot: %v", err)
+		}
+	})
+	// The decisive one: a whole Apply over a disjoint key completes
+	// while "frozen" is still mid-deduction.
+	step("Apply(disjoint)", func() {
+		results, _, err := u.Apply([]Update{
+			{Key: "other", Tuples: ds.Entities[2].Instance.Tuples()},
+		})
+		if err != nil || results[0].Err != nil {
+			t.Errorf("disjoint Apply: %v / %v", err, results[0].Err)
+		}
+	})
+
+	close(release)
+	if err := <-applied; err != nil {
+		t.Fatal(err)
+	}
+	if v := u.Version("other"); v != 0 {
+		t.Fatalf("disjoint entity missing after the freeze: version %d", v)
+	}
+}
+
+// TestUpdaterSameKeySerialises: two concurrent Apply calls on ONE key
+// serialise per entity — the second waits for the first's deduction,
+// extends its committed version, and no delta is lost.
+func TestUpdaterSameKeySerialises(t *testing.T) {
+	ds := testDataset(t, 1)
+	tuples := ds.Entities[0].Instance.Tuples()
+	if len(tuples) < 3 {
+		t.Skip("generated entity too small")
+	}
+	schema := ds.Entities[0].Instance.Schema()
+	u, err := NewUpdater(schema, Config{Master: ds.Master, Rules: ds.Rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Apply([]Update{{Key: "e", Tuples: tuples[:1]}}); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce sync.Once
+	u.testHookMidApply = func(string) {
+		hookOnce.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	first := make(chan error, 1)
+	go func() {
+		_, _, err := u.Apply([]Update{{Key: "e", Tuples: tuples[1:2]}})
+		first <- err
+	}()
+	<-entered
+	second := make(chan error, 1)
+	go func() {
+		_, _, err := u.Apply([]Update{{Key: "e", Tuples: tuples[2:]}})
+		second <- err
+	}()
+	select {
+	case <-second:
+		t.Fatal("same-key Apply overtook an in-flight batch")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-second; err != nil {
+		t.Fatal(err)
+	}
+	if v := u.Version("e"); v != 2 {
+		t.Fatalf("version = %d after two serialised deltas, want 2", v)
+	}
+	r, ok := u.Query("e", 0, AlgoTopKCT)
+	if !ok || r.Err != nil {
+		t.Fatalf("query after serialised deltas: ok=%v err=%v", ok, r.Err)
+	}
+	if r.Instance.Size() != len(tuples) {
+		t.Fatalf("entity holds %d tuples, want %d (lost delta)", r.Instance.Size(), len(tuples))
+	}
+}
+
+// TestUpdaterConcurrentDisjointKeys is the race-detector stress test:
+// many producers each stream deltas to their own key while readers
+// hammer Len/Keys/Version/Query/Snapshot. Afterwards every entity must
+// have absorbed every delta and answer identically to a fresh batch.
+func TestUpdaterConcurrentDisjointKeys(t *testing.T) {
+	const producers = 8
+	ds := testDataset(t, producers)
+	schema := ds.Entities[0].Instance.Schema()
+	cfg := Config{Master: ds.Master, Rules: ds.Rules, TopK: 2}
+	u, err := NewUpdater(schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", p)
+			for _, tp := range ds.Entities[p].Instance.Tuples() {
+				if _, _, err := u.Apply([]Update{{Key: key, Tuples: []*model.Tuple{tp}}}); err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u.Len()
+				for _, k := range u.Keys() {
+					u.Version(k)
+				}
+				u.Query(fmt.Sprintf("k%d", r), 1, AlgoTopKCT)
+				if r == 0 {
+					if _, _, _, err := u.Snapshot(); err != nil {
+						t.Errorf("snapshot: %v", err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if u.Len() != producers {
+		t.Fatalf("stream holds %d entities, want %d", u.Len(), producers)
+	}
+	keys, snap, _, err := u.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finals []*model.EntityInstance
+	for _, key := range keys {
+		var p int
+		fmt.Sscanf(key, "k%d", &p)
+		finals = append(finals, ds.Entities[p].Instance)
+	}
+	fresh, _, err := Run(finals, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap {
+		if got, want := fingerprint(snap[i]), fingerprint(fresh[i]); got != want {
+			t.Fatalf("entity %s after concurrent stream:\nincremental: %s\nfresh batch: %s",
+				keys[i], got, want)
+		}
+	}
+}

@@ -19,7 +19,9 @@ var ErrBudget = errors.New("topk: RankJoinCT exceeded its join-state budget")
 // buffers the cross product of the list prefixes it has read.
 type RankJoinOptions struct {
 	// MaxGenerated caps the number of buffered join combinations;
-	// 0 means 4,000,000. Exceeding the cap aborts with an error.
+	// 0 means 4,000,000 and negative values are rejected. Exceeding
+	// the cap aborts with ErrBudget, returning the candidates verified
+	// so far together with the Stats of the aborted search.
 	MaxGenerated int
 }
 
@@ -44,6 +46,9 @@ func RankJoinCTOpts(g *chase.Grounding, te *model.Tuple, pref Preference, opts R
 		return nil, p.stats, fmt.Errorf("topk: k must be positive, got %d", k)
 	}
 	maxGen := opts.MaxGenerated
+	if maxGen < 0 {
+		return nil, p.stats, fmt.Errorf("topk: MaxGenerated must be >= 0, got %d", maxGen)
+	}
 	if maxGen == 0 {
 		maxGen = 4_000_000
 	}

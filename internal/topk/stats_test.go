@@ -1,6 +1,7 @@
 package topk_test
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/chase"
@@ -138,19 +139,64 @@ func TestMaxDomainCap(t *testing.T) {
 	}
 }
 
-// TestRankJoinBudgetReturnsPartial: hitting the join budget returns the
-// candidates found so far with ErrBudget.
+// TestRankJoinBudgetReturnsPartial: hitting the join budget aborts with
+// ErrBudget (specifically — callers gate on errors.Is) but still
+// returns the candidates verified so far, with the Stats of the aborted
+// search populated so the caller can see how far it got.
 func TestRankJoinBudgetReturnsPartial(t *testing.T) {
 	g, te := unconstrained(t, []int{8, 8, 8, 8})
-	cands, _, err := topk.RankJoinCTOpts(g, te, topk.Preference{K: 5000},
-		topk.RankJoinOptions{MaxGenerated: 100})
-	if err == nil {
-		t.Fatalf("expected ErrBudget")
+	// Unbounded reference run: every assignment passes the check, so
+	// with MaxGenerated high the search finds real candidates.
+	full, fullStats, err := topk.RankJoinCTOpts(g, te, topk.Preference{K: 50},
+		topk.RankJoinOptions{MaxGenerated: 1_000_000})
+	if err != nil || len(full) == 0 {
+		t.Fatalf("reference run: %d candidates, err %v", len(full), err)
 	}
-	// Partial results are still valid candidates.
-	for _, c := range cands {
+	cands, stats, err := topk.RankJoinCTOpts(g, te, topk.Preference{K: 5000},
+		topk.RankJoinOptions{MaxGenerated: 100})
+	if !errors.Is(err, topk.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("budget abort dropped the partial candidates")
+	}
+	if stats.Generated <= 100 || stats.Pops == 0 || stats.Checks == 0 {
+		t.Fatalf("aborted search returned empty Stats: %+v", stats)
+	}
+	if stats.Generated >= fullStats.Generated {
+		t.Fatalf("budget did not bite: generated %d vs %d unbounded",
+			stats.Generated, fullStats.Generated)
+	}
+	// Partial results are still valid candidates, and they agree with
+	// the prefix of the unbounded run (emission order is deterministic).
+	for i, c := range cands {
 		if !g.Run(c.Tuple).CR {
 			t.Errorf("partial result fails check")
 		}
+		if i < len(full) && (c.Tuple.Key() != full[i].Tuple.Key() || c.Score != full[i].Score) {
+			t.Errorf("partial candidate %d diverges from the unbounded run", i)
+		}
+	}
+}
+
+// TestRankJoinNegativeBudgetRejected: a negative MaxGenerated is a
+// caller bug, not "unlimited" and not "abort immediately" — it is
+// rejected up front with a plain error (not ErrBudget), before any
+// join state is built.
+func TestRankJoinNegativeBudgetRejected(t *testing.T) {
+	g, te := unconstrained(t, []int{4, 4})
+	cands, stats, err := topk.RankJoinCTOpts(g, te, topk.Preference{K: 5},
+		topk.RankJoinOptions{MaxGenerated: -1})
+	if err == nil {
+		t.Fatal("negative MaxGenerated was accepted")
+	}
+	if errors.Is(err, topk.ErrBudget) {
+		t.Fatalf("negative MaxGenerated reported as a budget abort: %v", err)
+	}
+	if cands != nil {
+		t.Fatalf("rejected call returned candidates: %v", cands)
+	}
+	if stats.Checks != 0 || stats.Generated != 0 {
+		t.Fatalf("rejected call did work: %+v", stats)
 	}
 }

@@ -26,8 +26,11 @@
 // byte-identical to a fresh session over the full instance (only a
 // non-Church-Rosser conflict message may differ). NewUpdater
 // scales the same idea to a keyed stream of deltas over many live
-// entities (the update-stream mode of the batch pipeline; cmd/relacc's
-// append mode is its command-line face). NewGroundwork hoists the
+// entities: a sharded store in which disjoint keys absorb evidence
+// fully concurrently and readers never wait on a deduction
+// (cmd/relacc's append mode is its command-line face, and NewServer /
+// the relaccd daemon put an HTTP/JSON front end on it — see
+// examples/serving). NewGroundwork hoists the
 // schema-level work (rule validation, form-(2) index compilation) out
 // of session construction for callers that open many sessions or runs
 // over one schema.
@@ -53,6 +56,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/pipeline"
 	"repro/internal/rule"
+	"repro/internal/server"
 )
 
 // Data-model types, re-exported from internal/model.
@@ -225,6 +229,32 @@ func NewUpdater(schema *Schema, cfg BatchConfig) (*Updater, error) {
 // cfg.Rules are ignored in favour of the groundwork's own.
 func NewUpdaterWith(gw *Groundwork, cfg BatchConfig) *Updater {
 	return pipeline.NewUpdaterShared(gw.Shared(), cfg)
+}
+
+// ParseAlgorithm maps an algorithm's wire name ("topkct", "rankjoin",
+// "topkcth") — what cmd flags and relaccd query parameters carry — to
+// its Algorithm value.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	return pipeline.ParseAlgorithm(name)
+}
+
+// Serving layer, re-exported from internal/server.
+type (
+	// Server serves an update stream over HTTP/JSON; see NewServer.
+	Server = server.Server
+	// ServerOptions tunes the serving layer (request-concurrency
+	// limit, default query k).
+	ServerOptions = server.Options
+)
+
+// NewServer puts an HTTP/JSON front end on an update stream: evidence
+// appends route into Updater.Apply (disjoint keys concurrent, one
+// key's deltas serialised) and queries answer from atomically
+// published grounding versions without blocking behind any in-flight
+// deduction. Mount Server.Handler on an http.Server; cmd/relaccd is
+// the packaged daemon. See internal/server for routes and wire format.
+func NewServer(u *Updater, opts ServerOptions) *Server {
+	return server.New(u, opts)
 }
 
 // ReadRelation parses CSV (first row = attribute names) into a schema

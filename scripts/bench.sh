@@ -13,10 +13,12 @@
 #   BenchmarkCheckPooled     allocation-free candidate check  (PR 1/4)
 #   BenchmarkTopKCTParallel  speculative parallel top-k       (PR 1)
 #   BenchmarkIncrementalAdd  delta instantiation vs rebuild   (PR 3/4)
+#   BenchmarkUpdaterApply    disjoint-key batch on the sharded
+#                            live-entity store, 1 vs N workers (PR 5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr5.json}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-1}"
 
@@ -24,7 +26,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkCheckPooled$|BenchmarkTopKCTParallel|BenchmarkIncrementalAdd' \
+  -bench 'BenchmarkCheckPooled$|BenchmarkTopKCTParallel|BenchmarkIncrementalAdd|BenchmarkUpdaterApply' \
   -benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw"
 
 # Parse `go test -bench` lines into JSON records. A -benchmem line looks

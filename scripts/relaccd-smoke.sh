@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# relaccd-smoke.sh — start/append/query/shutdown smoke test for the
+# serving daemon, run by CI after the unit suites. It drives the REAL
+# binary over real TCP: seed a stream from CSV, append evidence for a
+# live and a brand-new key, query verdicts and candidates back, then
+# prove SIGTERM drains and exits 0. Requires curl.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+cat > "$tmp/seed.csv" <<'EOF'
+id,league,rnds,jersey
+m1,east,30,45
+m1,east,80,23
+m2,west,10,9
+EOF
+cat > "$tmp/rules.txt" <<'EOF'
+phi1: t1[league] = t2[league] , t1[rnds] < t2[rnds] -> t1 <= t2 @ rnds
+phi2: t1 < t2 @ rnds -> t1 <= t2 @ jersey
+EOF
+
+go build -o "$tmp/relaccd" ./cmd/relaccd
+
+"$tmp/relaccd" -addr 127.0.0.1:0 -data "$tmp/seed.csv" \
+  -rules "$tmp/rules.txt" -by id > "$tmp/out.log" 2>&1 &
+pid=$!
+
+# The daemon prints its kernel-picked address once it is listening.
+base=""
+for _ in $(seq 1 50); do
+  base=$(grep -o 'http://[0-9.:]*' "$tmp/out.log" || true)
+  [ -n "$base" ] && break
+  kill -0 "$pid" 2>/dev/null || { cat "$tmp/out.log"; echo "relaccd died at startup" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$base" ] || { cat "$tmp/out.log"; echo "relaccd never started listening" >&2; exit 1; }
+
+fail() { echo "smoke: $1" >&2; exit 1; }
+# expect <fragment> <curl args...> — the response must contain the fragment.
+expect() {
+  local frag=$1; shift
+  local got
+  got=$(curl -sS --max-time 10 "$@")
+  echo "$got" | grep -q "$frag" || { echo "$got"; fail "missing $frag in $*"; }
+}
+
+expect '"ok": true'        "$base/healthz"
+expect '"count": 2'        "$base/v1/entities"
+expect '"rnds": 80'        "$base/v1/entities/m1"
+# Append a delta to a live key: version advances, target re-deduced.
+expect '"version": 1'      -X POST -d '{"tuples":[{"id":"m1","league":"east","rnds":100,"jersey":7}]}' "$base/v1/entities/m1/evidence"
+expect '"rnds": 100'       "$base/v1/entities/m1"
+# Append to a brand-new key, then read it back with candidates.
+expect '"version": 0'      -X POST -d '{"tuples":[{"id":"m3","league":"west","rnds":1,"jersey":2},{"id":"m3","league":"east","rnds":3,"jersey":4}]}' "$base/v1/entities/m3/evidence"
+expect '"status": "incomplete"' "$base/v1/entities/m3"
+expect '"candidates"'      "$base/v1/entities/m3/topk?k=2&algo=rankjoin"
+# Error statuses stay errors.
+expect '"error"'           "$base/v1/entities/ghost"
+expect '"error"'           "$base/v1/entities/m1/topk?algo=quantum"
+expect '"entities": 3'     "$base/v1/stats"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$pid"
+if ! wait "$pid"; then
+  cat "$tmp/out.log"
+  fail "relaccd did not exit cleanly on SIGTERM"
+fi
+grep -q "shut down cleanly" "$tmp/out.log" || { cat "$tmp/out.log"; fail "no clean-shutdown line"; }
+pid=""
+echo "relaccd smoke: OK"
