@@ -20,6 +20,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/rule"
 	"repro/internal/topk"
+	"repro/internal/wal"
 )
 
 var (
@@ -363,5 +364,94 @@ func BenchmarkRankJoinCT_Syn(b *testing.B) {
 		if _, _, err := topk.RankJoinCT(g, te, topk.Preference{K: 10}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWALAppend measures the durable path one acknowledged batch
+// pays before it touches an entity: encode, CRC, append — and, on the
+// fsync=always leg, the group-committed fsync that makes the ack mean
+// something. The never leg isolates the encoding cost.
+func BenchmarkWALAppend(b *testing.B) {
+	schema := model.MustSchema("bench", "id", "league", "rnds", "jersey")
+	tuples := make([]*model.Tuple, 8)
+	for i := range tuples {
+		tuples[i] = model.MustTuple(schema,
+			model.S("m1"), model.S("east"), model.I(int64(30+i)), model.I(int64(i)))
+	}
+	ups := []pipeline.Update{{Key: "m1", Tuples: tuples}}
+	for _, pol := range []wal.SyncPolicy{wal.SyncNever, wal.SyncAlways} {
+		b.Run("fsync="+pol.String(), func(b *testing.B) {
+			st, err := wal.Open(b.TempDir(), schema, wal.Options{Fsync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.LogApply(ups); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecoveryReplay measures a cold boot over a log-only store:
+// open (scan + torn-tail check) plus replaying every batch through a
+// fresh updater — the time a crashed daemon takes to start answering
+// again, at Med scale with three interleaved evidence waves.
+func BenchmarkRecoveryReplay(b *testing.B) {
+	cfg := gen.MedConfig()
+	cfg.NumEntities = 8
+	ds := gen.Generate(cfg)
+	pcfg := pipeline.Config{Master: ds.Master, Rules: ds.Rules, Workers: 4,
+		Pref: topk.Preference{MaxChecks: 2000}}
+	dir := b.TempDir()
+	u, err := pipeline.NewUpdater(ds.Schema, pcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := wal.Open(dir, ds.Schema, wal.Options{Fsync: wal.SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Recover(u); err != nil {
+		b.Fatal(err)
+	}
+	u.AttachPersister(st)
+	var waves [3][]pipeline.Update
+	for i, e := range ds.Entities {
+		key := fmt.Sprintf("e%02d", i)
+		tuples := e.Instance.Tuples()
+		cut1, cut2 := 1, 1+(len(tuples)-1)/2
+		waves[0] = append(waves[0], pipeline.Update{Key: key, Tuples: tuples[:cut1]})
+		if cut1 < cut2 {
+			waves[1] = append(waves[1], pipeline.Update{Key: key, Tuples: tuples[cut1:cut2]})
+		}
+		if cut2 < len(tuples) {
+			waves[2] = append(waves[2], pipeline.Update{Key: key, Tuples: tuples[cut2:]})
+		}
+	}
+	for _, ups := range waves {
+		if _, sum, err := u.Apply(ups); err != nil || sum.Errors > 0 {
+			b.Fatalf("apply: err=%v errors=%d", err, sum.Errors)
+		}
+	}
+	st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ru, err := pipeline.NewUpdater(ds.Schema, pcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st2, err := wal.Open(dir, ds.Schema, wal.Options{Fsync: wal.SyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs, err := st2.Recover(ru); err != nil || rs.Batches != 3 {
+			b.Fatalf("recover: %+v %v", rs, err)
+		}
+		st2.Close()
 	}
 }

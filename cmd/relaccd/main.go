@@ -4,7 +4,8 @@
 //
 //	relaccd -data seed.csv -rules rules.txt -by id [-master master.csv]
 //	        [-addr 127.0.0.1:8080] [-workers N] [-topk K] [-algo topkct|rankjoin|topkcth]
-//	        [-max-inflight N]
+//	        [-max-inflight N] [-data-dir DIR] [-fsync always|interval|never]
+//	        [-snapshot-every N] [-max-entity-tuples N]
 //
 // The CSV's header defines the entity schema every appended tuple must
 // conform to; its rows (may be none) are grouped into entities by the
@@ -14,6 +15,16 @@
 // per request. The daemon listens on -addr (use port 0 to let the
 // kernel pick; the chosen address is printed), serves until SIGINT or
 // SIGTERM, then drains in-flight requests and exits 0.
+//
+// With -data-dir the store is DURABLE: every applied batch is written
+// to a CRC-checksummed write-ahead log under the directory before it
+// touches an entity (-fsync picks the sync policy), and on boot the
+// daemon recovers the previous process's state — snapshot first, then
+// the log tail — instead of re-seeding from CSV. -snapshot-every N
+// checkpoints after every N appends; a checkpoint also runs on
+// graceful shutdown, so a clean restart replays an empty log. A torn
+// record left by a crash mid-append is detected by CRC and dropped,
+// never partially applied (see internal/wal).
 //
 // See internal/server for the routes and the JSON wire format, and
 // README.md for a curl quickstart.
@@ -38,6 +49,7 @@ import (
 	"repro/internal/ruledsl"
 	"repro/internal/server"
 	"repro/internal/topk"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -52,12 +64,21 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "concurrently served requests (0 = 256)")
 	maxChecks := flag.Int("max-checks", 100_000, "chase-check budget per candidate search; exhausting it returns the candidates found so far (0 = unlimited)")
 	maxTopK := flag.Int("max-k", 0, "largest ?k= a topk query may request (0 = 100)")
+	dataDir := flag.String("data-dir", "", "durable store directory (WAL + snapshots); empty = memory-only")
+	fsync := flag.String("fsync", "always", "WAL sync policy: always, interval or never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "cadence of -fsync=interval")
+	snapshotEvery := flag.Int("snapshot-every", 0, "checkpoint after every N appends (0 = only on shutdown / POST /v1/snapshot)")
+	maxEntityTuples := flag.Int("max-entity-tuples", 0, "evidence tuples one entity may accumulate; appends past it fail with 422 (0 = unbounded)")
 	flag.Parse()
 	if *dataPath == "" || *rulesPath == "" {
 		fmt.Fprintln(os.Stderr, "relaccd: -data and -rules are required")
 		os.Exit(2)
 	}
 	alg, err := pipeline.ParseAlgorithm(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	syncPolicy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
 		fatal(err)
 	}
@@ -109,10 +130,37 @@ func main() {
 		// NP-complete, and a serving daemon must degrade to partial
 		// candidates rather than let one entity pin a core forever.
 		Pref: topk.Preference{MaxChecks: *maxChecks},
+		// Bound the evidence ONE entity may accumulate: with a durable
+		// log the absorb failure replays identically on recovery.
+		MaxEntityTuples: *maxEntityTuples,
 	})
 	if err != nil {
 		fatal(err)
 	}
+
+	// Durable mode: open the store, replay what the previous process
+	// left, and only then attach the log so replayed batches are not
+	// re-logged. Recovered state is authoritative — the CSV seed ran
+	// (and was logged) when the store was first created, so re-seeding
+	// on every boot would double the evidence.
+	var store *wal.Store
+	if *dataDir != "" {
+		store, err = wal.Open(*dataDir, schema, wal.Options{Fsync: syncPolicy, Interval: *fsyncInterval})
+		if err != nil {
+			fatal(err)
+		}
+		rs, err := store.Recover(u)
+		if err != nil {
+			fatal(err)
+		}
+		u.AttachPersister(store)
+		if !rs.Empty() {
+			fmt.Printf("relaccd: recovered %d entities from %s (snapshot seq %d, %d WAL batches replayed, resuming after seq %d)\n",
+				rs.Entities, *dataDir, rs.SnapshotSeq, rs.Batches, rs.LastSeq)
+			tuples = nil
+		}
+	}
+
 	if len(tuples) > 0 {
 		// Unlike cmd/relacc's append mode (type-tagged Value.Key
 		// routing), the daemon keys by the identifier's string
@@ -143,7 +191,12 @@ func main() {
 		fatal(err)
 	}
 	srv := &http.Server{
-		Handler: server.New(u, server.Options{MaxInFlight: *maxInFlight, MaxTopK: *maxTopK}).Handler(),
+		Handler: server.New(u, server.Options{
+			MaxInFlight:   *maxInFlight,
+			MaxTopK:       *maxTopK,
+			Store:         store,
+			SnapshotEvery: *snapshotEvery,
+		}).Handler(),
 		// ReadTimeout covers the whole request read, so a slow-body
 		// client cannot hold a MaxInFlight slot indefinitely inside the
 		// JSON decoder. No WriteTimeout: a large top-k query may
@@ -176,6 +229,18 @@ func main() {
 	}
 	if err := <-served; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
+	}
+	if store != nil {
+		// Snapshot-on-drain: the next boot restores the snapshot and
+		// replays an empty log instead of the whole session's batches.
+		// A failed checkpoint is not fatal — the log alone still
+		// recovers everything — but it is worth a line.
+		if _, err := store.Checkpoint(u); err != nil {
+			fmt.Fprintln(os.Stderr, "relaccd: shutdown checkpoint failed (the WAL still covers all state):", err)
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "relaccd: closing durable store:", err)
+		}
 	}
 	fmt.Println("relaccd: shut down cleanly")
 }

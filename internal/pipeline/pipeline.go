@@ -80,6 +80,16 @@ type Config struct {
 	// Options configures the chase (e.g. DisableAxioms for bare-rule
 	// semantics).
 	Options chase.Options
+	// MaxEntityTuples bounds how many evidence tuples one live entity
+	// may accumulate on the update stream; <= 0 means unbounded. A
+	// delta that would push an entity past the bound fails that
+	// entity's ABSORPTION deterministically — the entity keeps its
+	// previous grounding version, exactly like a wrong-schema tuple —
+	// so a durable log replays the failure identically (the bound
+	// depends only on committed size + delta size, never on timing).
+	// Batch runs (Run/Stream) ignore it: their instances arrive fully
+	// formed.
+	MaxEntityTuples int
 }
 
 func (cfg *Config) workers() int {

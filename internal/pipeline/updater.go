@@ -39,6 +39,20 @@ type Update struct {
 	Tuples []*model.Tuple
 }
 
+// Persister is the durability hook under Apply. When one is attached,
+// every batch is handed to LogApply AFTER batch-level validation but
+// BEFORE any entity is touched — log-then-apply ordering, so a batch
+// the caller saw acknowledged is always wholly recoverable, and a
+// batch the persister rejected was never applied at all. internal/wal
+// provides the write-ahead-log implementation; nil (the default)
+// keeps the PR 1–5 memory-only behaviour byte for byte.
+type Persister interface {
+	// LogApply durably records one update batch and returns the
+	// sequence number it assigned. An error fails the whole Apply
+	// with no update applied.
+	LogApply(updates []Update) (uint64, error)
+}
+
 // GroupUpdates groups a relation's tuples into keyed updates by exact
 // match on an identifier column, preserving first-seen order — the
 // routing both cmd/relacc's append mode and the relaccd seed perform.
@@ -109,6 +123,20 @@ type Updater struct {
 	shared *chase.Shared
 	cfg    Config
 
+	// persister, when non-nil, durably logs every batch before it is
+	// applied (see Persister). Set once via AttachPersister, before
+	// concurrent producers start.
+	persister Persister
+
+	// applyGate lets Checkpoint observe a quiesced store: every Apply
+	// and Replay holds the read side across log + apply + key
+	// registration, so under the write side no batch is in flight and
+	// every sequence number the persister handed out is fully
+	// reflected in the live entities. Uncontended RLock/RUnlock is
+	// noise next to a deduction, so the gate is taken in memory-only
+	// mode too.
+	applyGate sync.RWMutex
+
 	shards [shardCount]shard
 
 	// keyMu guards the registry of successfully created entities. Keys
@@ -151,6 +179,36 @@ func NewUpdaterShared(shared *chase.Shared, cfg Config) *Updater {
 
 // Schema returns the entity schema every update must conform to.
 func (u *Updater) Schema() *model.Schema { return u.shared.Schema() }
+
+// Dict returns the stream's shared value dictionary — the append-only
+// interning table every grounding of this updater encodes against. A
+// durable snapshot persists it so recovery re-interns values to their
+// exact pre-crash IDs.
+func (u *Updater) Dict() *model.Dict { return u.shared.Dict() }
+
+// AttachPersister installs the durability hook. Call it once, after
+// recovery has replayed any existing log (replayed batches must not be
+// re-logged) and before concurrent producers start applying.
+func (u *Updater) AttachPersister(p Persister) { u.persister = p }
+
+// Residency reports what the stream holds in memory: the number of
+// live entities and the total evidence tuples across them. It reads
+// committed versions only and never blocks an in-flight batch.
+func (u *Updater) Residency() (entities, tuples int) {
+	for _, key := range u.Keys() {
+		e := u.lookup(key)
+		if e == nil {
+			continue
+		}
+		g := e.g.Load()
+		if g == nil {
+			continue
+		}
+		entities++
+		tuples += g.Instance().Size()
+	}
+	return entities, tuples
+}
 
 // shardFor routes a key to its stripe (FNV-1a, masked).
 func (u *Updater) shardFor(key string) *shard {
@@ -241,6 +299,51 @@ func (u *Updater) Version(key string) int {
 // Result.Deduction carries the chase outcome, and retrying the same
 // tuples would duplicate them (use Version to tell the cases apart).
 func (u *Updater) Apply(updates []Update) ([]Result, Summary, error) {
+	return u.apply(updates, u.persister, &u.cfg)
+}
+
+// Replay is Apply for recovery: it re-absorbs batches read back from a
+// durable log without re-logging them, and with the candidate search
+// disabled (searches read committed state, they never shape it, so
+// re-running them during replay would only burn time). Everything
+// else — merging, per-entity extension, deterministic absorption
+// failures, key registration order — is exactly Apply, which is what
+// makes replayed state byte-identical to the pre-crash store.
+func (u *Updater) Replay(updates []Update) ([]Result, Summary, error) {
+	cfg := u.cfg
+	cfg.TopK = 0
+	return u.apply(updates, nil, &cfg)
+}
+
+// Checkpoint quiesces the stream and hands fn a consistent cut: the
+// live keys in first-seen order and each key's committed entity
+// instance, with no batch in flight anywhere (the apply gate is held
+// exclusively, so every sequence number the persister assigned is
+// fully absorbed). Producers block only while fn runs; fn must not
+// call Apply or it deadlocks.
+func (u *Updater) Checkpoint(fn func(keys []string, entities []*model.EntityInstance) error) error {
+	u.applyGate.Lock()
+	defer u.applyGate.Unlock()
+	keys := u.Keys()
+	entities := make([]*model.EntityInstance, len(keys))
+	for i, key := range keys {
+		e := u.lookup(key)
+		if e == nil {
+			return fmt.Errorf("pipeline: checkpoint: registered key %q has no live entity", key)
+		}
+		g := e.g.Load()
+		if g == nil {
+			return fmt.Errorf("pipeline: checkpoint: registered key %q has no committed version", key)
+		}
+		entities[i] = g.Instance()
+	}
+	return fn(keys, entities)
+}
+
+// apply is the core behind Apply and Replay; p is the persister to log
+// through (nil for memory-only and for replay) and cfg the effective
+// configuration.
+func (u *Updater) apply(updates []Update, p Persister, cfg *Config) ([]Result, Summary, error) {
 	start := time.Now()
 	var sum Summary
 	if len(updates) == 0 {
@@ -250,6 +353,16 @@ func (u *Updater) Apply(updates []Update) ([]Result, Summary, error) {
 	for i, up := range updates {
 		if up.Key == "" {
 			return nil, sum, fmt.Errorf("pipeline: update %d has an empty key; no update was applied", i)
+		}
+	}
+	u.applyGate.RLock()
+	defer u.applyGate.RUnlock()
+	if p != nil {
+		// Log-then-apply: the batch must be durable (per the sync
+		// policy) before any entity changes. The persister validates
+		// round-trippability — a batch it rejects was applied nowhere.
+		if _, err := p.LogApply(updates); err != nil {
+			return nil, sum, fmt.Errorf("pipeline: persisting batch: %w; no update was applied", err)
 		}
 	}
 	merged := make(map[string][]*model.Tuple, len(updates))
@@ -263,11 +376,11 @@ func (u *Updater) Apply(updates []Update) ([]Result, Summary, error) {
 
 	results := make([]Result, len(order))
 	created := make([]bool, len(order))
-	err := Each(u.cfg.workers(), len(order), func(i int) error {
+	err := Each(cfg.workers(), len(order), func(i int) error {
 		entityStart := time.Now()
 		defer func() { results[i].Elapsed = time.Since(entityStart) }()
 		results[i].Index = i
-		created[i] = u.applyOne(order[i], merged[order[i]], &results[i])
+		created[i] = u.applyOne(order[i], merged[order[i]], &results[i], cfg)
 		return nil
 	})
 	if err != nil {
@@ -292,10 +405,21 @@ func (u *Updater) Apply(updates []Update) ([]Result, Summary, error) {
 	return results, sum, nil
 }
 
+// tupleBound enforces cfg.MaxEntityTuples: it fails an absorption
+// whose committed size plus delta would exceed the bound. The check
+// depends only on those two sizes, so a logged batch re-fails (or
+// re-succeeds) identically on recovery replay.
+func tupleBound(have, add int, cfg *Config) error {
+	if max := cfg.MaxEntityTuples; max > 0 && have+add > max {
+		return fmt.Errorf("absorbing %d tuples onto %d would exceed the %d-tuple entity bound", add, have, max)
+	}
+	return nil
+}
+
 // applyOne extends (or creates) one keyed entity and re-deduces it,
 // under that entity's lock alone; it reports whether this call
 // performed the entity's successful creation.
-func (u *Updater) applyOne(key string, tuples []*model.Tuple, out *Result) (createdNow bool) {
+func (u *Updater) applyOne(key string, tuples []*model.Tuple, out *Result, cfg *Config) (createdNow bool) {
 	out.Key = key
 	var ent *liveEntity
 	for {
@@ -319,18 +443,22 @@ func (u *Updater) applyOne(key string, tuples []*model.Tuple, out *Result) (crea
 		// extend below fails; success overwrites it in runGrounding.
 		out.Version = g.Version()
 		out.Instance = g.Instance()
-		next, err = g.Extend(tuples...)
+		if err = tupleBound(g.Instance().Size(), len(tuples), cfg); err == nil {
+			next, err = g.Extend(tuples...)
+		}
 	} else {
 		out.Version = -1 // no committed version exists yet
 		// Set Instance up front so even a failed creation honours
 		// the Result contract (callers format r.Instance).
 		empty := model.NewEntityInstance(u.shared.Schema())
 		out.Instance = empty
-		var ie *model.EntityInstance
-		ie, err = empty.Extend(tuples...)
-		if err == nil {
-			out.Instance = ie
-			next, err = u.shared.NewGrounding(ie, u.cfg.Options)
+		if err = tupleBound(0, len(tuples), cfg); err == nil {
+			var ie *model.EntityInstance
+			ie, err = empty.Extend(tuples...)
+			if err == nil {
+				out.Instance = ie
+				next, err = u.shared.NewGrounding(ie, cfg.Options)
+			}
 		}
 	}
 	if err != nil {
@@ -356,7 +484,7 @@ func (u *Updater) applyOne(key string, tuples []*model.Tuple, out *Result) (crea
 	if u.testHookMidApply != nil {
 		u.testHookMidApply(key)
 	}
-	runGrounding(out, next, &u.cfg)
+	runGrounding(out, next, cfg)
 	return !live
 }
 

@@ -246,3 +246,61 @@ func TestUpdaterWorkerIndependence(t *testing.T) {
 		}
 	}
 }
+
+// TestUpdaterMaxEntityTuples: the per-entity evidence bound fails the
+// over-bound DELTA (Result.Err, version kept, no deduction) while its
+// batch siblings and later within-bound deltas proceed. The bound is
+// a function of committed size + delta size only, which is what lets
+// a durable log replay the failure identically.
+func TestUpdaterMaxEntityTuples(t *testing.T) {
+	ds := testDataset(t, 1)
+	tuples := ds.Entities[0].Instance.Tuples()
+	if len(tuples) < 4 {
+		t.Skip("generated entity too small")
+	}
+	u, err := NewUpdater(ds.Entities[0].Instance.Schema(),
+		Config{Master: ds.Master, Rules: ds.Rules, MaxEntityTuples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2 tuples: fits.
+	results, _, err := u.Apply([]Update{{Key: "e", Tuples: tuples[:2]}})
+	if err != nil || results[0].Err != nil {
+		t.Fatalf("within-bound creation failed: %v / %v", err, results[0].Err)
+	}
+	before := u.Version("e")
+
+	// 2+2 > 3: absorb fails, version stays, no deduction is reported.
+	results, sum, err := u.Apply([]Update{{Key: "e", Tuples: tuples[2:4]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || results[0].Deduction != nil {
+		t.Fatalf("over-bound delta: err=%v deduction=%v", results[0].Err, results[0].Deduction)
+	}
+	if !strings.Contains(results[0].Err.Error(), "3-tuple entity bound") {
+		t.Fatalf("error does not name the bound: %v", results[0].Err)
+	}
+	if sum.Errors != 1 || u.Version("e") != before {
+		t.Fatalf("failed absorb moved state: errors=%d version %d -> %d", sum.Errors, before, u.Version("e"))
+	}
+
+	// 2+1 = 3: exactly at the bound, fits again.
+	results, _, err = u.Apply([]Update{{Key: "e", Tuples: tuples[2:3]}})
+	if err != nil || results[0].Err != nil {
+		t.Fatalf("at-bound delta failed: %v / %v", err, results[0].Err)
+	}
+	if got := results[0].Instance.Size(); got != 3 {
+		t.Fatalf("entity holds %d tuples, want 3", got)
+	}
+
+	// A CREATION over the bound fails too, registering nothing.
+	results, _, err = u.Apply([]Update{{Key: "big", Tuples: tuples[:4]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || u.Version("big") != -1 {
+		t.Fatalf("over-bound creation: err=%v version=%d", results[0].Err, u.Version("big"))
+	}
+}

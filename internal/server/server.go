@@ -19,6 +19,8 @@
 //	                                   200 with per-entity results — check
 //	                                   each result's error/status, a batch
 //	                                   is never all-or-nothing
+//	POST /v1/snapshot                  checkpoint the durable store now
+//	                                   (409 when the daemon is memory-only)
 //
 // Tuples travel as JSON objects keyed by attribute name; strings,
 // numbers, booleans and null map onto the model's value kinds, and
@@ -52,6 +54,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/pipeline"
+	"repro/internal/wal"
 )
 
 // Options tunes the serving layer; the zero value serves with the
@@ -73,6 +76,23 @@ type Options struct {
 	// MaxBodyBytes caps a request body; an oversized POST answers 413
 	// instead of buffering unbounded JSON. <= 0 means 8 MiB.
 	MaxBodyBytes int64
+	// MaxBufferedBytes caps the AGGREGATE bytes of request bodies
+	// buffered ahead of the concurrency gate across all connections —
+	// the global byte budget MaxBodyBytes alone cannot provide, since
+	// any number of clients may each buffer one capped body. A request
+	// that would push the total past the cap answers 429 with
+	// Retry-After instead of queueing, so a flood degrades into
+	// explicit backpressure rather than unbounded memory. <= 0 means
+	// 64 MiB.
+	MaxBufferedBytes int64
+	// Store, when non-nil, is the durable store under the updater: it
+	// enables the POST /v1/snapshot admin route and the durability
+	// fields of /v1/stats. The server does not open or close it.
+	Store *wal.Store
+	// SnapshotEvery, with Store set, checkpoints the store after every
+	// N successful appends (asynchronously, single-flight); 0 disables
+	// periodic snapshots.
+	SnapshotEvery int
 }
 
 func (o Options) maxInFlight() int {
@@ -103,6 +123,13 @@ func (o Options) maxBodyBytes() int64 {
 	return 8 << 20
 }
 
+func (o Options) maxBufferedBytes() int64 {
+	if o.MaxBufferedBytes > 0 {
+		return o.MaxBufferedBytes
+	}
+	return 64 << 20
+}
+
 // Server serves one Updater's update stream over HTTP. Create with
 // New; all methods are safe for concurrent use.
 type Server struct {
@@ -115,6 +142,16 @@ type Server struct {
 	tuples  atomic.Int64 // evidence tuples absorbed
 	queries atomic.Int64 // read requests served
 	errs    atomic.Int64 // requests answered with a 4xx/5xx status
+
+	// buffered is the aggregate request-body bytes currently held by
+	// readBody, across all connections; the MaxBufferedBytes gate.
+	buffered atomic.Int64
+
+	// Periodic-snapshot state (Options.SnapshotEvery): appends since
+	// the last trigger, a single-flight latch, and failures for stats.
+	sinceSnap atomic.Int64
+	snapping  atomic.Bool
+	snapFails atomic.Int64
 }
 
 // New builds a serving layer over the updater. The updater may already
@@ -137,6 +174,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/entities/{key}/topk", s.handleTopK)
 	mux.HandleFunc("POST /v1/entities/{key}/evidence", s.handleAppendOne)
 	mux.HandleFunc("POST /v1/evidence", s.handleAppendBatch)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	outer := http.NewServeMux()
 	outer.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]any{"ok": true})
@@ -152,12 +190,36 @@ func (s *Server) Handler() http.Handler {
 // a slow-body client stalls here, outside the gate, instead of
 // pinning a MaxInFlight slot inside the JSON decoder. The body cap
 // bounds what each queued request may buffer (413 past it) and the
-// daemon's ReadTimeout bounds how long a sender may trickle; the
-// AGGREGATE buffer across connections is deliberately not bounded
-// here — that global byte budget is a ROADMAP backpressure item.
+// AGGREGATE buffer across connections is bounded by MaxBufferedBytes:
+// each request reserves its worst case (the declared Content-Length,
+// or the full body cap for chunked senders) before reading, shrinks
+// the reservation to the bytes actually held, and releases it when
+// the handler finishes. A request that cannot reserve answers 429
+// with Retry-After instead of queueing — explicit backpressure in
+// place of unbounded memory.
 func (s *Server) readBody(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil && r.Body != http.NoBody {
+			reserve := s.opts.maxBodyBytes()
+			if r.ContentLength >= 0 && r.ContentLength < reserve {
+				// The server stops a body read at the declared length,
+				// so this reservation is a true upper bound even for a
+				// client that would send more.
+				reserve = r.ContentLength
+			}
+			if reserve > 0 {
+				if held := s.buffered.Add(reserve); held > s.opts.maxBufferedBytes() {
+					s.buffered.Add(-reserve)
+					w.Header().Set("Retry-After", "1")
+					s.error(w, http.StatusTooManyRequests,
+						fmt.Sprintf("server is buffering %d bytes of request bodies (cap %d); retry shortly",
+							held-reserve, s.opts.maxBufferedBytes()))
+					return
+				}
+				// Closure, not a direct defer: the reservation shrinks
+				// after the read and the release must match it.
+				defer func() { s.buffered.Add(-reserve) }()
+			}
 			data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.maxBodyBytes()))
 			if err != nil {
 				var tooBig *http.MaxBytesError
@@ -168,6 +230,12 @@ func (s *Server) readBody(h http.Handler) http.Handler {
 				}
 				s.error(w, http.StatusBadRequest, "reading request body: "+err.Error())
 				return
+			}
+			if reserve > 0 && int64(len(data)) < reserve {
+				// Keep only what is actually held; the deferred release
+				// returns the rest now instead of at handler exit.
+				s.buffered.Add(int64(len(data)) - reserve)
+				reserve = int64(len(data))
 			}
 			r.Body = io.NopCloser(bytes.NewReader(data))
 		}
@@ -206,15 +274,79 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.queries.Add(1)
+	entities, liveTuples := s.u.Residency()
+	out := map[string]any{
+		"entities":           entities,
+		"live_tuples":        liveTuples,
+		"appends":            s.appends.Load(),
+		"tuples":             s.tuples.Load(),
+		"queries":            s.queries.Load(),
+		"errors":             s.errs.Load(),
+		"uptime_ms":          time.Since(s.started).Milliseconds(),
+		"max_in_flight":      s.opts.maxInFlight(),
+		"buffered_bytes":     s.buffered.Load(),
+		"max_buffered_bytes": s.opts.maxBufferedBytes(),
+		"durable":            s.opts.Store != nil,
+	}
+	if s.opts.Store != nil {
+		st := s.opts.Store.Stats()
+		out["wal_bytes"] = st.WALBytes
+		out["last_seq"] = st.LastSeq
+		out["snapshot_seq"] = st.SnapshotSeq
+		out["fsync"] = st.Fsync.String()
+		out["snapshot_failures"] = s.snapFails.Load()
+		if !st.LastSync.IsZero() {
+			out["last_fsync_age_ms"] = time.Since(st.LastSync).Milliseconds()
+		}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleSnapshot is the admin route: checkpoint now. It quiesces the
+// stream, writes a durable snapshot and truncates the covered log;
+// 409 on a memory-only daemon. Concurrent requests serialise inside
+// the store.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	if s.opts.Store == nil {
+		s.error(w, http.StatusConflict, "this server is memory-only (no durable store attached); nothing to snapshot")
+		return
+	}
+	seq, err := s.opts.Store.Checkpoint(s.u)
+	if err != nil {
+		s.error(w, http.StatusInternalServerError, "snapshot failed: "+err.Error())
+		return
+	}
+	st := s.opts.Store.Stats()
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"entities":      s.u.Len(),
-		"appends":       s.appends.Load(),
-		"tuples":        s.tuples.Load(),
-		"queries":       s.queries.Load(),
-		"errors":        s.errs.Load(),
-		"uptime_ms":     time.Since(s.started).Milliseconds(),
-		"max_in_flight": s.opts.maxInFlight(),
+		"snapshot_seq": seq,
+		"wal_bytes":    st.WALBytes,
 	})
+}
+
+// maybeSnapshot triggers the periodic checkpoint after SnapshotEvery
+// successful appends. The checkpoint itself runs on its own goroutine
+// (it quiesces the whole stream; the triggering request should not
+// stall on it) and is single-flight — a slow snapshot swallows
+// triggers instead of queueing them.
+func (s *Server) maybeSnapshot() {
+	st, every := s.opts.Store, s.opts.SnapshotEvery
+	if st == nil || every <= 0 {
+		return
+	}
+	if s.sinceSnap.Add(1) < int64(every) {
+		return
+	}
+	if !s.snapping.CompareAndSwap(false, true) {
+		return
+	}
+	s.sinceSnap.Store(0)
+	go func() {
+		defer s.snapping.Store(false)
+		if _, err := st.Checkpoint(s.u); err != nil {
+			s.snapFails.Add(1)
+		}
+	}()
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -338,6 +470,7 @@ func (s *Server) handleAppendOne(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.tuples.Add(int64(len(tuples)))
+	s.maybeSnapshot()
 	out := s.entityJSON(res)
 	out["absorbed"] = len(tuples)
 	s.writeJSON(w, http.StatusOK, out)
@@ -392,6 +525,7 @@ func (s *Server) handleAppendBatch(w http.ResponseWriter, r *http.Request) {
 	// Results come back merged by key in first-appearance order, each
 	// carrying its key. Count a key's tuples as absorbed only when its
 	// entity actually absorbed them.
+	s.maybeSnapshot()
 	out := make([]map[string]any, 0, len(results))
 	for _, res := range results {
 		if !absorbFailed(res) {

@@ -57,6 +57,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/rule"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // Data-model types, re-exported from internal/model.
@@ -108,6 +109,36 @@ type (
 	// Updater routes evidence deltas to live per-entity sessions; see
 	// NewUpdater.
 	Updater = pipeline.Updater
+	// Persister is the durability hook under Updater.Apply; see
+	// OpenStore for the packaged write-ahead-log implementation.
+	Persister = pipeline.Persister
+)
+
+// Durable update stream API, re-exported from internal/wal.
+type (
+	// Store is a durable store: write-ahead log + snapshots; see
+	// OpenStore.
+	Store = wal.Store
+	// StoreOptions tunes a Store (sync policy and cadence).
+	StoreOptions = wal.Options
+	// SyncPolicy picks when appended log records are fsynced.
+	SyncPolicy = wal.SyncPolicy
+	// RecoveryStats summarises what Store.Recover rebuilt.
+	RecoveryStats = wal.RecoveryStats
+	// StoreStats is a point-in-time view of a Store's durability
+	// counters.
+	StoreStats = wal.Stats
+)
+
+// Sync policy choices for StoreOptions.Fsync.
+const (
+	// SyncAlways fsyncs before every acknowledged append (group
+	// commit: concurrent appenders share one fsync).
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs on a background cadence.
+	SyncInterval = wal.SyncInterval
+	// SyncNever leaves flushing to the OS.
+	SyncNever = wal.SyncNever
 )
 
 // Groundwork is the schema-level part of session and batch
@@ -230,6 +261,37 @@ func NewUpdater(schema *Schema, cfg BatchConfig) (*Updater, error) {
 func NewUpdaterWith(gw *Groundwork, cfg BatchConfig) *Updater {
 	return pipeline.NewUpdaterShared(gw.Shared(), cfg)
 }
+
+// OpenStore makes an update stream durable. It opens (creating if
+// needed) the write-ahead-log store in dir for the updater's schema,
+// replays any state a previous process left — snapshot first, then
+// the log tail, dropping a torn final record a crash mid-append may
+// have written — into u, which must be freshly built with nothing
+// applied, and attaches the store so every subsequent Apply is logged
+// before it touches an entity. The returned RecoveryStats reports
+// what was rebuilt (RecoveryStats.Empty distinguishes a brand-new
+// store from a recovered one, for seed-exactly-once logic). Snapshot
+// with Store.Checkpoint — typically on graceful shutdown — and Close
+// the store after the updater stops applying. ParseSyncPolicy maps
+// the flag spellings "always" | "interval" | "never" onto
+// StoreOptions.Fsync.
+func OpenStore(dir string, u *Updater, opts StoreOptions) (*Store, RecoveryStats, error) {
+	st, err := wal.Open(dir, u.Schema(), opts)
+	if err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	rs, err := st.Recover(u)
+	if err != nil {
+		st.Close()
+		return nil, rs, err
+	}
+	u.AttachPersister(st)
+	return st, rs, nil
+}
+
+// ParseSyncPolicy maps a -fsync flag value ("always", "interval",
+// "never") to its SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
 
 // ParseAlgorithm maps an algorithm's wire name ("topkct", "rankjoin",
 // "topkcth") — what cmd flags and relaccd query parameters carry — to

@@ -15,10 +15,13 @@
 #   BenchmarkIncrementalAdd  delta instantiation vs rebuild   (PR 3/4)
 #   BenchmarkUpdaterApply    disjoint-key batch on the sharded
 #                            live-entity store, 1 vs N workers (PR 5)
+#   BenchmarkWALAppend       per-batch durable-log cost, with and
+#                            without fsync                     (PR 6)
+#   BenchmarkRecoveryReplay  cold boot: log scan + full replay (PR 6)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr5.json}"
+out="${1:-BENCH_pr6.json}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-1}"
 
@@ -26,7 +29,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkCheckPooled$|BenchmarkTopKCTParallel|BenchmarkIncrementalAdd|BenchmarkUpdaterApply' \
+  -bench 'BenchmarkCheckPooled$|BenchmarkTopKCTParallel|BenchmarkIncrementalAdd|BenchmarkUpdaterApply|BenchmarkWALAppend|BenchmarkRecoveryReplay' \
   -benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw"
 
 # Parse `go test -bench` lines into JSON records. A -benchmem line looks

@@ -75,3 +75,81 @@ fi
 grep -q "shut down cleanly" "$tmp/out.log" || { cat "$tmp/out.log"; fail "no clean-shutdown line"; }
 pid=""
 echo "relaccd smoke: OK"
+
+# ---------------------------------------------------------------
+# Durable phase: the same daemon with -data-dir must survive kill -9
+# mid-stream and come back with byte-identical verdicts.
+start_durable() { # start_durable <logfile> [extra flags...]
+  local log=$1; shift
+  "$tmp/relaccd" -addr 127.0.0.1:0 -data "$tmp/seed.csv" \
+    -rules "$tmp/rules.txt" -by id -data-dir "$tmp/store" "$@" > "$log" 2>&1 &
+  pid=$!
+  base=""
+  for _ in $(seq 1 50); do
+    base=$(grep -o 'http://[0-9.:]*' "$log" || true)
+    [ -n "$base" ] && break
+    kill -0 "$pid" 2>/dev/null || { cat "$log"; fail "durable relaccd died at startup"; }
+    sleep 0.1
+  done
+  [ -n "$base" ] || { cat "$log"; fail "durable relaccd never started listening"; }
+}
+
+# settled <file> — capture every entity's verdict, stripped of the
+# fields that legitimately differ across restarts (timings; version
+# counters restart when a snapshot collapses the batch history).
+settled() {
+  curl -sS --max-time 10 "$base/v1/entities" > "$1.keys"
+  : > "$1"
+  for key in $(grep -o '"key": "[^"]*"' "$1.keys" | cut -d'"' -f4 | sort); do
+    printf '%s ' "$key" >> "$1"
+    curl -sS --max-time 10 "$base/v1/entities/$key" \
+      | grep -v '"elapsed_us"\|"version"' >> "$1"
+  done
+}
+
+start_durable "$tmp/d1.log" -fsync always
+expect '"count": 2'   "$base/v1/entities"
+expect '"durable": true' "$base/v1/stats"
+# Build up state: a delta on a live key and a brand-new entity.
+expect '"version": 1' -X POST -d '{"tuples":[{"id":"m1","league":"east","rnds":100,"jersey":7}]}' "$base/v1/entities/m1/evidence"
+expect '"version": 0' -X POST -d '{"tuples":[{"id":"m3","league":"west","rnds":1,"jersey":2},{"id":"m3","league":"east","rnds":3,"jersey":4}]}' "$base/v1/entities/m3/evidence"
+settled "$tmp/before"
+# SIGKILL: no drain, no checkpoint — recovery runs from the log alone.
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+start_durable "$tmp/d2.log" -fsync always
+grep -q "recovered 3 entities" "$tmp/d2.log" || { cat "$tmp/d2.log"; fail "restart did not recover the store"; }
+settled "$tmp/after"
+diff -u "$tmp/before" "$tmp/after" || fail "recovered verdicts differ from pre-kill verdicts"
+
+# A torn tail: append garbage to the log behind the daemon's back,
+# kill it, and prove the NEXT boot drops the tail instead of dying.
+expect '"version": 2' -X POST -d '{"tuples":[{"id":"m1","league":"east","rnds":120,"jersey":3}]}' "$base/v1/entities/m1/evidence"
+settled "$tmp/before2"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+printf '\xff\xff\xff\x7fGARBAGE-TORN-TAIL' >> "$tmp/store/wal.log"
+
+start_durable "$tmp/d3.log" -fsync always
+settled "$tmp/after2"
+diff -u "$tmp/before2" "$tmp/after2" || fail "torn tail changed recovered verdicts"
+
+# Admin checkpoint truncates the log; a clean shutdown snapshots too.
+expect '"snapshot_seq"' -X POST "$base/v1/snapshot"
+kill -TERM "$pid"
+if ! wait "$pid"; then
+  cat "$tmp/d3.log"
+  fail "durable relaccd did not exit cleanly on SIGTERM"
+fi
+pid=""
+
+# Final boot: snapshot + empty log, same verdicts again.
+start_durable "$tmp/d4.log"
+settled "$tmp/after3"
+diff -u "$tmp/before2" "$tmp/after3" || fail "snapshot recovery changed verdicts"
+kill -TERM "$pid"; wait "$pid" || true; pid=""
+
+echo "relaccd durable smoke: OK"
