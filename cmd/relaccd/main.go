@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chase"
 	"repro/internal/csvio"
 	"repro/internal/model"
 	"repro/internal/pipeline"
@@ -69,6 +70,9 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "cadence of -fsync=interval")
 	snapshotEvery := flag.Int("snapshot-every", 0, "checkpoint after every N appends (0 = only on shutdown / POST /v1/snapshot)")
 	maxEntityTuples := flag.Int("max-entity-tuples", 0, "evidence tuples one entity may accumulate; appends past it fail with 422 (0 = unbounded)")
+	verdictCache := flag.Bool("verdict-cache", true, "memoise chase candidate checks per grounding version")
+	verdictCacheCap := flag.Int("verdict-cache-cap", 0, "verdict-cache entries per grounding version (0 = default, negative = unbounded)")
+	settledCache := flag.Bool("settled-cache", true, "memoise each entity's last (version, k, algo) query answer")
 	flag.Parse()
 	if *dataPath == "" || *rulesPath == "" {
 		fmt.Fprintln(os.Stderr, "relaccd: -data and -rules are required")
@@ -133,6 +137,14 @@ func main() {
 		// Bound the evidence ONE entity may accumulate: with a durable
 		// log the absorb failure replays identically on recovery.
 		MaxEntityTuples: *maxEntityTuples,
+		// The two read-path caches are semantically invisible (cached
+		// answers are byte-identical to recomputing); the flags exist
+		// for measurement and emergency memory relief.
+		Options: chase.Options{
+			DisableVerdictCache: !*verdictCache,
+			VerdictCacheCap:     *verdictCacheCap,
+		},
+		DisableSettledCache: !*settledCache,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,80 @@
+package chase
+
+import (
+	"encoding/binary"
+
+	"repro/internal/model"
+	"repro/internal/vcache"
+)
+
+// Verdict caching (DESIGN.md invariant 8).
+//
+// A candidate check is a pure function of (grounding version, template
+// value-ID row): the chase is deterministic, a Grounding is immutable
+// after construction, and every template-dependent comparison the
+// engine performs is decided by the template's interned IDs — IDs
+// equate values up to model.Value.Norm, and Norm-equal values are
+// indistinguishable to every chase comparison (Op.Eval compares
+// normalised semantics; Eq/Ne compare the IDs themselves). So a map
+// from packed ID rows to verdicts, hung off the version, memoises
+// checks with no invalidation protocol at all: a new version gets a
+// new (empty) cache, a superseded version's cache dies with it, and an
+// in-flight Checker pinned to an old version keeps hitting that
+// version's cache — which is still correct for the evidence that
+// version answers for.
+//
+// Uncacheable templates exist: a caller-built template may carry a
+// value the shared dictionary has never interned, which resolves to
+// the model.NoID sentinel. Two DISTINCT unknown values would pack to
+// the same key, so rows containing an unknown value are not cached —
+// verdictKey reports them uncacheable and the check simply runs
+// (cache_fuzz_test.go pins that no two distinct cacheable rows share a
+// key). Candidates assembled by the top-k search carry pre-interned ID
+// rows and are always cacheable.
+
+// verdictEntry is one memoised check outcome: the conflict description
+// ("" = Church-Rosser) and, for CR checks, the deduced target tuple.
+// The target is stored once, cloned from the engine that computed it,
+// and shared read-only by every hit; Checker.Target re-clones it per
+// caller.
+type verdictEntry struct {
+	conflict string
+	target   *model.Tuple
+}
+
+// verdictKey packs template's value-ID row into buf (reused across
+// calls) as nattr big-endian uint32s: null attributes pack as
+// model.NullID, known values as their dictionary ID. It reports
+// ok=false — template not cacheable — when the template carries a
+// value the dictionary has never seen (see the package comment above).
+// A nil template packs as the all-null row, matching runWith's
+// treatment of nil.
+//
+// Resolution order mirrors runWith exactly (cached ID row first, then
+// a non-interning dictionary lookup), and the dictionary is
+// append-only, so the key always names the same IDs the check itself
+// would push.
+func (g *Grounding) verdictKey(template *model.Tuple, buf []byte) ([]byte, bool) {
+	buf = buf[:0]
+	for a := 0; a < g.nattr; a++ {
+		vid := model.NullID
+		if template != nil {
+			if v := template.At(a); !v.IsNull() {
+				var ok bool
+				if vid, ok = template.IDIn(g.dict, a); !ok {
+					if vid, ok = g.dict.Lookup(v); !ok {
+						return buf, false
+					}
+				}
+			}
+		}
+		buf = binary.BigEndian.AppendUint32(buf, vid)
+	}
+	return buf, true
+}
+
+// VerdictCacheStats returns this grounding's verdict-cache accounting:
+// hits and misses cumulative across the whole version chain, entries
+// counting the receiver's version only. All zero when the cache is
+// disabled.
+func (g *Grounding) VerdictCacheStats() vcache.Stats { return g.verdicts.Stats() }

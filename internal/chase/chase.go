@@ -94,6 +94,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/order"
 	"repro/internal/rule"
+	"repro/internal/vcache"
 )
 
 // Spec is a specification S = (D0, Σ, Im, te0) minus the target
@@ -113,6 +114,18 @@ type Options struct {
 	// includes them in every rule set; disabling is intended for tests
 	// that exercise the bare rule semantics.
 	DisableAxioms bool
+	// DisableVerdictCache turns off the per-version verdict cache that
+	// pooled Checkers consult before running a candidate check (see
+	// cache.go). The cache is semantically invisible — cached and
+	// uncached checks answer byte-identically — so disabling it is only
+	// useful for measurement and for the equivalence tests that prove
+	// that claim.
+	DisableVerdictCache bool
+	// VerdictCacheCap bounds the verdict cache's entry count: 0 means
+	// vcache.DefaultCap, negative means unbounded. A full cache stops
+	// admitting new entries (it never evicts), so the bound trades hit
+	// rate for memory without affecting any verdict.
+	VerdictCacheCap int
 }
 
 // Result is the outcome of running the chase to termination.
@@ -343,6 +356,13 @@ type Grounding struct {
 	// hasOrderTrig caches whether any layer registered an order
 	// trigger, so the per-derived-pair fast path stays one branch.
 	hasOrderTrig bool
+
+	// verdicts memoises Checker verdicts for this version, keyed by the
+	// template's packed value-ID row (cache.go). It is version-private:
+	// Extend gives the successor a fresh cache (sharing only cumulative
+	// counters), so entries never outlive the grounding they are valid
+	// for. nil when Options.DisableVerdictCache was set.
+	verdicts *vcache.Cache[verdictEntry]
 
 	poolOnce sync.Once
 	pool     *CheckerPool

@@ -68,7 +68,11 @@ func (g *Grounding) Extend(tuples ...*model.Tuple) (*Grounding, error) {
 		orderTrig: make(map[uint64][]predRef),
 		corrs:     g.corrs, // instance-independent; never mutated after grounding
 		form2:     g.form2,
-		version:   g.version + 1,
+		// The verdict cache is version-private: the successor starts
+		// empty (old verdicts answer for the old evidence) but shares
+		// the chain's cumulative hit/miss counters. nil stays nil.
+		verdicts: g.verdicts.NextVersion(),
+		version:  g.version + 1,
 	}
 	// Stack the parent's trigger layers (sharing the maps, not the
 	// parent itself — its heavy state must stay collectable), then

@@ -22,6 +22,11 @@ import (
 type Checker struct {
 	g *Grounding
 	e *engine
+	// kbuf is the reusable verdict-key buffer; hit holds the cached
+	// target of the last CheckConflict that was answered from the
+	// verdict cache (nil when the last check actually ran).
+	kbuf []byte
+	hit  *model.Tuple
 }
 
 // NewChecker creates a reusable checker over g.
@@ -40,19 +45,52 @@ func (c *Checker) Check(template *model.Tuple) bool {
 // CheckConflict is Check with the conflict description: it returns ""
 // when the revised specification is Church-Rosser and the first invalid
 // step's description otherwise.
+//
+// Checks are memoised in the grounding version's verdict cache
+// (cache.go): a template whose packed value-ID row was checked before
+// against this version answers without running the chase. The verdict
+// is identical either way — the check is a pure function of (version,
+// ID row) — so memoisation is invisible except in VerdictCacheStats.
 func (c *Checker) CheckConflict(template *model.Tuple) string {
 	if c.g.baseConflict != "" {
 		return c.g.baseConflict
 	}
+	c.hit = nil
+	var key []byte
+	cacheable := false
+	if c.g.verdicts != nil {
+		key, cacheable = c.g.verdictKey(template, c.kbuf)
+		c.kbuf = key
+		if cacheable {
+			if ent, ok := c.g.verdicts.Get(key); ok {
+				c.hit = ent.target
+				return ent.conflict
+			}
+		}
+	}
 	c.e.reset()
 	c.g.runWith(c.e, template)
+	if cacheable {
+		ent := verdictEntry{conflict: c.e.conflict}
+		if ent.conflict == "" {
+			ent.target = c.e.te.Clone()
+		}
+		c.g.verdicts.Put(key, ent)
+	}
 	return c.e.conflict
 }
 
 // Target returns the target tuple deduced by the last successful Check,
 // cloned so it survives the checker's next run. It is only meaningful
-// immediately after a Check that returned true.
+// immediately after a Check that returned true. When that check was
+// answered from the verdict cache, the returned tuple is the target
+// deduced for the first Norm-equal template checked against this
+// version — identical to this template's deduction up to
+// model.Value.Norm (the equivalence the cache key is built on).
 func (c *Checker) Target() *model.Tuple {
+	if c.hit != nil {
+		return c.hit.Clone()
+	}
 	return c.e.te.Clone()
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/rule"
+	"repro/internal/vcache"
 )
 
 // Shared is the instance-independent groundwork of a specification: the
@@ -95,6 +96,9 @@ func (sh *Shared) NewGrounding(ie *model.EntityInstance, opts Options) (*Groundi
 		orderTrig: make(map[uint64][]predRef),
 		form2:     sh.form2,
 		dict:      sh.dict,
+	}
+	if !opts.DisableVerdictCache {
+		g.verdicts = vcache.New[verdictEntry](opts.VerdictCacheCap)
 	}
 	g.indexValues()
 	zero := g.ground()

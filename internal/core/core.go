@@ -28,6 +28,7 @@ import (
 	"repro/internal/rule"
 	"repro/internal/ruledsl"
 	"repro/internal/topk"
+	"repro/internal/vcache"
 )
 
 // Re-exported types, so most callers only import core.
@@ -156,6 +157,14 @@ func (s *Session) Interact(cfg framework.Config, oracle Oracle) (*framework.Outc
 // Grounding exposes the underlying grounding for advanced callers
 // (benchmarks, custom search strategies).
 func (s *Session) Grounding() *chase.Grounding { return s.g }
+
+// VerdictCacheStats reports the session's verdict-cache accounting:
+// Check/CheckBatch/TopK verdicts are memoised per grounding version
+// (hits and misses are cumulative across the versions AddTuples has
+// moved the session through; entries count the current version only).
+// Sessions always run with the cache on; the stats expose how much of
+// the check load it absorbed.
+func (s *Session) VerdictCacheStats() vcache.Stats { return s.g.VerdictCacheStats() }
 
 // Groundwork is the schema-level part of session construction: the
 // rule set validated once against one (entity schema, master schema)

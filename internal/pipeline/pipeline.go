@@ -78,8 +78,18 @@ type Config struct {
 	// across entities, not within one entity's search.
 	Pref topk.Preference
 	// Options configures the chase (e.g. DisableAxioms for bare-rule
-	// semantics).
+	// semantics, DisableVerdictCache to turn off check memoisation).
 	Options chase.Options
+	// DisableSettledCache turns off the update stream's settled-target
+	// memo: with it set, every Query/Snapshot/Apply re-deduction runs
+	// the full deduce → search, even when the entity's committed
+	// grounding version and the (k, algorithm) pair match the last
+	// computed answer. The memo is semantically invisible — a hit
+	// returns the byte-identical result a recomputation would produce
+	// (enforced by updater_cache_test.go) — so disabling it is for
+	// measurement and equivalence testing. Batch runs (Run/Stream)
+	// ignore it: they have no live entities to memoise on.
+	DisableSettledCache bool
 	// MaxEntityTuples bounds how many evidence tuples one live entity
 	// may accumulate on the update stream; <= 0 means unbounded. A
 	// delta that would push an entity past the bound fails that

@@ -110,6 +110,29 @@ type shard struct {
 type liveEntity struct {
 	mu sync.Mutex
 	g  atomic.Pointer[chase.Grounding]
+	// memo is the entity's settled-target cache: the last computed
+	// deduce → search answer, keyed by the grounding version it was
+	// computed on plus the (k, algorithm) pair (see settledMemo). It is
+	// best-effort and self-validating — a hit requires the memo's
+	// grounding pointer to equal the currently committed one, so a memo
+	// from a superseded version can never be served, only skipped.
+	memo atomic.Pointer[settledMemo]
+}
+
+// settledMemo is one memoised re-deduction answer. Grounding versions
+// are immutable and the deduce → search kernel is deterministic, so
+// (g, k, algo) fully determines the result; invalidation is structural
+// — Apply committing a new version makes every old memo's g pointer
+// stale, and the hit check compares pointers. res carries only the
+// recomputable fields (Instance, Version, Deduction, Candidates,
+// Stats, Err): Key/Index/Elapsed stay per-call. A memoised result's
+// Deduction and Candidates are shared across hits; like every Result
+// off the read path they are read-only snapshots.
+type settledMemo struct {
+	g    *chase.Grounding
+	k    int
+	algo Algorithm
+	res  Result
 }
 
 // Updater routes evidence deltas to live per-entity grounding versions
@@ -147,6 +170,12 @@ type Updater struct {
 	// it (only while its creating Apply is still running).
 	keyMu sync.Mutex
 	keys  []string // first-registration order, for deterministic enumeration
+
+	// settledHits/settledMisses count settled-target memo outcomes
+	// across the whole stream (hits are re-deductions answered without
+	// running the kernel).
+	settledHits   atomic.Int64
+	settledMisses atomic.Int64
 
 	// testHookMidApply, when non-nil, runs after an entity's new
 	// grounding version is committed but before its re-deduction,
@@ -208,6 +237,82 @@ func (u *Updater) Residency() (entities, tuples int) {
 		tuples += g.Instance().Size()
 	}
 	return entities, tuples
+}
+
+// CacheStats aggregates the stream's two read-path cache layers: the
+// settled-target memo (stream-wide hit/miss counts) and the per-entity
+// verdict caches (hits/misses cumulative over each entity's version
+// chain, entries counting committed versions only; summed across live
+// entities). It reads committed state and never blocks a batch.
+type CacheStats struct {
+	SettledHits    int64
+	SettledMisses  int64
+	VerdictHits    int64
+	VerdictMisses  int64
+	VerdictEntries int64
+}
+
+// CacheStats reports the stream's cache accounting; see the type.
+func (u *Updater) CacheStats() CacheStats {
+	cs := CacheStats{
+		SettledHits:   u.settledHits.Load(),
+		SettledMisses: u.settledMisses.Load(),
+	}
+	for _, key := range u.Keys() {
+		e := u.lookup(key)
+		if e == nil {
+			continue
+		}
+		g := e.g.Load()
+		if g == nil {
+			continue
+		}
+		st := g.VerdictCacheStats()
+		cs.VerdictHits += st.Hits
+		cs.VerdictMisses += st.Misses
+		cs.VerdictEntries += st.Entries
+	}
+	return cs
+}
+
+// deduceMemo is runGrounding with settled-target memoisation: when the
+// entity's last computed answer was produced on this exact grounding
+// version with this (k, algorithm) pair, it is returned without
+// running the kernel; otherwise the kernel runs and its answer is
+// published as the new memo — but only while g is still the committed
+// version, so a computation that lost a race with Apply cannot clobber
+// the current version's memo (the pointer-equality hit check would
+// reject it anyway; the conditional store just keeps the memo useful).
+// Byte-identity of hit and recomputation follows from determinism of
+// the kernel on an immutable version.
+func (u *Updater) deduceMemo(e *liveEntity, g *chase.Grounding, out *Result, cfg *Config) {
+	if cfg.DisableSettledCache {
+		runGrounding(out, g, cfg)
+		return
+	}
+	if m := e.memo.Load(); m != nil && m.g == g && m.k == cfg.TopK && m.algo == cfg.Algo {
+		u.settledHits.Add(1)
+		out.Instance = m.res.Instance
+		out.Version = m.res.Version
+		out.Deduction = m.res.Deduction
+		out.Candidates = m.res.Candidates
+		out.Stats = m.res.Stats
+		out.Err = m.res.Err
+		return
+	}
+	u.settledMisses.Add(1)
+	runGrounding(out, g, cfg)
+	m := &settledMemo{g: g, k: cfg.TopK, algo: cfg.Algo, res: Result{
+		Instance:   out.Instance,
+		Version:    out.Version,
+		Deduction:  out.Deduction,
+		Candidates: out.Candidates,
+		Stats:      out.Stats,
+		Err:        out.Err,
+	}}
+	if e.g.Load() == g {
+		e.memo.Store(m)
+	}
 }
 
 // shardFor routes a key to its stripe (FNV-1a, masked).
@@ -484,7 +589,7 @@ func (u *Updater) applyOne(key string, tuples []*model.Tuple, out *Result, cfg *
 	if u.testHookMidApply != nil {
 		u.testHookMidApply(key)
 	}
-	runGrounding(out, next, cfg)
+	u.deduceMemo(ent, next, out, cfg)
 	return !live
 }
 
@@ -496,6 +601,13 @@ func (u *Updater) applyOne(key string, tuples []*model.Tuple, out *Result, cfg *
 // blocked by in-flight batches; a query racing an Apply on the same
 // key answers from whichever version is committed when it starts. The
 // second return is false for an unknown key.
+//
+// A query whose (committed version, effective k, algorithm) matches
+// the entity's last computed answer returns the settled-target memo —
+// byte-identical to recomputing, since the kernel is deterministic on
+// an immutable version — unless Config.DisableSettledCache is set.
+// Apply publishing a new version structurally invalidates the memo
+// (the hit check is pointer equality on the committed grounding).
 func (u *Updater) Query(key string, topK int, algo Algorithm) (Result, bool) {
 	var out Result
 	e := u.lookup(key)
@@ -513,7 +625,7 @@ func (u *Updater) Query(key string, topK int, algo Algorithm) (Result, bool) {
 	}
 	cfg.Algo = algo
 	out.Key = key
-	runGrounding(&out, g, &cfg)
+	u.deduceMemo(e, g, &out, &cfg)
 	out.Elapsed = time.Since(start)
 	return out, true
 }
@@ -536,7 +648,8 @@ func (u *Updater) Snapshot() ([]string, []Result, Summary, error) {
 		entityStart := time.Now()
 		results[i].Index = i
 		results[i].Key = keys[i]
-		runGrounding(&results[i], u.lookup(keys[i]).g.Load(), &u.cfg)
+		e := u.lookup(keys[i])
+		u.deduceMemo(e, e.g.Load(), &results[i], &u.cfg)
 		results[i].Elapsed = time.Since(entityStart)
 		return nil
 	})

@@ -1,0 +1,275 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fpResult renders everything a memoised answer promises to preserve —
+// version, CR verdict, deduced target, candidate list with scores and
+// order, search stats, error — so string equality means the settled
+// memo is invisible.
+func fpResult(r Result) string {
+	out := fmt.Sprintf("v=%d", r.Version)
+	if r.Err != nil {
+		return out + " err=" + r.Err.Error()
+	}
+	out += fmt.Sprintf(" cr=%v", r.Deduction.CR)
+	if r.Deduction.CR {
+		out += fmt.Sprintf(" target=%s steps=%d", r.Deduction.Target.Key(), r.Deduction.Steps)
+	}
+	for _, c := range r.Candidates {
+		out += fmt.Sprintf(" cand=%s@%.6f", c.Tuple.Key(), c.Score)
+	}
+	out += fmt.Sprintf(" checks=%d pops=%d gen=%d", r.Stats.Checks, r.Stats.Pops, r.Stats.Generated)
+	return out
+}
+
+// TestSettledMemoEquivalence: repeated queries with a matching
+// (version, k, algo) answer from the memo, byte-identically to both
+// the cold computation and a memo-disabled twin updater fed the same
+// stream; a different k or algorithm recomputes (and re-memoises)
+// correctly.
+func TestSettledMemoEquivalence(t *testing.T) {
+	ds := testDataset(t, 2)
+	schema := ds.Entities[0].Instance.Schema()
+	cfg := Config{Master: ds.Master, Rules: ds.Rules, TopK: 2}
+	u, err := NewUpdater(schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := cfg
+	off.DisableSettledCache = true
+	plain, err := NewUpdater(schema, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := []Update{
+		{Key: "a", Tuples: ds.Entities[0].Instance.Tuples()},
+		{Key: "b", Tuples: ds.Entities[1].Instance.Tuples()},
+	}
+	if _, _, err := u.Apply(ups); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := plain.Apply(ups); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, key := range []string{"a", "b"} {
+		for _, probe := range []struct {
+			k    int
+			algo Algorithm
+		}{
+			{2, AlgoTopKCT}, // matches the Apply-time (k, algo): warmed by applyOne
+			{3, AlgoTopKCT},
+			{2, AlgoRankJoinCT},
+			{2, AlgoTopKCTh},
+		} {
+			pr, ok := plain.Query(key, probe.k, probe.algo)
+			if !ok {
+				t.Fatalf("plain.Query(%s) unknown", key)
+			}
+			want := fpResult(pr)
+			cold, ok := u.Query(key, probe.k, probe.algo)
+			if !ok {
+				t.Fatalf("Query(%s) unknown", key)
+			}
+			if got := fpResult(cold); got != want {
+				t.Fatalf("%s k=%d algo=%d cold:\nmemo:  %s\nplain: %s", key, probe.k, probe.algo, got, want)
+			}
+			warm, _ := u.Query(key, probe.k, probe.algo)
+			if got := fpResult(warm); got != want {
+				t.Fatalf("%s k=%d algo=%d warm:\nmemo:  %s\nplain: %s", key, probe.k, probe.algo, got, want)
+			}
+		}
+	}
+	cs := u.CacheStats()
+	if cs.SettledHits == 0 {
+		t.Fatalf("repeated queries recorded no settled hit: %+v", cs)
+	}
+	if pcs := plain.CacheStats(); pcs.SettledHits != 0 || pcs.SettledMisses != 0 {
+		t.Fatalf("disabled settled cache recorded activity: %+v", pcs)
+	}
+	// The memoising updater's Snapshot shares the memo too, and stays
+	// equal to the plain one's.
+	_, rs, _, err := u.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prs, _, err := plain.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		if fpResult(rs[i]) != fpResult(prs[i]) {
+			t.Fatalf("snapshot %d diverged:\nmemo:  %s\nplain: %s", i, fpResult(rs[i]), fpResult(prs[i]))
+		}
+	}
+}
+
+// TestSettledMemoInvalidatedByApply: publishing a new grounding
+// version structurally invalidates the memo — the next query
+// recomputes on (and answers for) the new version.
+func TestSettledMemoInvalidatedByApply(t *testing.T) {
+	ds := testDataset(t, 1)
+	tuples := ds.Entities[0].Instance.Tuples()
+	if len(tuples) < 2 {
+		t.Skip("generated entity too small")
+	}
+	schema := ds.Entities[0].Instance.Schema()
+	u, err := NewUpdater(schema, Config{Master: ds.Master, Rules: ds.Rules, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Apply([]Update{{Key: "e", Tuples: tuples[:1]}}); err != nil {
+		t.Fatal(err)
+	}
+	r0, _ := u.Query("e", -1, AlgoTopKCT)
+	r0again, _ := u.Query("e", -1, AlgoTopKCT)
+	if fpResult(r0) != fpResult(r0again) || r0.Version != 0 {
+		t.Fatalf("v0 queries diverged: %s vs %s", fpResult(r0), fpResult(r0again))
+	}
+	if _, _, err := u.Apply([]Update{{Key: "e", Tuples: tuples[1:2]}}); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := u.Query("e", -1, AlgoTopKCT)
+	if r1.Version != 1 {
+		t.Fatalf("post-Apply query answered version %d, want 1 (memo served stale version?)", r1.Version)
+	}
+	if r1.Instance.Size() != 2 {
+		t.Fatalf("post-Apply query saw %d tuples, want 2", r1.Instance.Size())
+	}
+}
+
+// TestSettledMemoNeverServesSupersededVersion is the staleness race of
+// ISSUE 7, hook-frozen like TestUpdaterReadersDuringDeduction: while
+// an Apply batch is frozen AFTER committing the new grounding version
+// but BEFORE its re-deduction has memoised anything, a concurrent
+// Query on the same key must answer from the NEW committed version —
+// the old version's memo (still present) must be skipped, not served.
+func TestSettledMemoNeverServesSupersededVersion(t *testing.T) {
+	ds := testDataset(t, 1)
+	tuples := ds.Entities[0].Instance.Tuples()
+	if len(tuples) < 2 {
+		t.Skip("generated entity too small")
+	}
+	schema := ds.Entities[0].Instance.Schema()
+	u, err := NewUpdater(schema, Config{Master: ds.Master, Rules: ds.Rules, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Apply([]Update{{Key: "e", Tuples: tuples[:1]}}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the memo on version 0.
+	if r, _ := u.Query("e", -1, AlgoTopKCT); r.Version != 0 {
+		t.Fatalf("warmup answered version %d", r.Version)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce sync.Once
+	u.testHookMidApply = func(string) {
+		hookOnce.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	applied := make(chan error, 1)
+	go func() {
+		_, _, err := u.Apply([]Update{{Key: "e", Tuples: tuples[1:2]}})
+		applied <- err
+	}()
+	<-entered // version 1 is committed; its re-deduction is frozen
+
+	qdone := make(chan Result, 1)
+	go func() {
+		r, _ := u.Query("e", -1, AlgoTopKCT)
+		qdone <- r
+	}()
+	select {
+	case r := <-qdone:
+		if r.Version != 1 {
+			t.Fatalf("query during frozen Apply answered version %d — a superseded memo", r.Version)
+		}
+		if r.Instance.Size() != 2 {
+			t.Fatalf("query during frozen Apply saw %d tuples, want 2", r.Instance.Size())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query blocked behind a mid-deduction batch")
+	}
+	close(release)
+	if err := <-applied; err != nil {
+		t.Fatal(err)
+	}
+	// After the batch lands, hits resume on the current version.
+	before := u.CacheStats().SettledHits
+	if r, _ := u.Query("e", -1, AlgoTopKCT); r.Version != 1 {
+		t.Fatalf("settled query answered version %d", r.Version)
+	}
+	if after := u.CacheStats().SettledHits; after <= before {
+		t.Fatalf("post-freeze query did not hit the refreshed memo (%d -> %d)", before, after)
+	}
+}
+
+// TestSettledMemoConcurrentApplyQuery hammers one key with concurrent
+// single-tuple Applies and memoised Queries: every query must observe
+// a monotonically non-decreasing version with an instance size
+// matching it — a stale memo would show as a version step backwards.
+// Runs under -race in CI.
+func TestSettledMemoConcurrentApplyQuery(t *testing.T) {
+	ds := testDataset(t, 1)
+	tuples := ds.Entities[0].Instance.Tuples()
+	if len(tuples) < 4 {
+		t.Skip("generated entity too small")
+	}
+	schema := ds.Entities[0].Instance.Schema()
+	u, err := NewUpdater(schema, Config{Master: ds.Master, Rules: ds.Rules, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Apply([]Update{{Key: "e", Tuples: tuples[:1]}}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var qerr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := -1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r, ok := u.Query("e", -1, AlgoTopKCT)
+			if !ok {
+				qerr = fmt.Errorf("key vanished")
+				return
+			}
+			if r.Version < last {
+				qerr = fmt.Errorf("version went backwards: %d after %d", r.Version, last)
+				return
+			}
+			last = r.Version
+			if r.Instance.Size() != r.Version+1 {
+				qerr = fmt.Errorf("version %d with %d tuples", r.Version, r.Instance.Size())
+				return
+			}
+		}
+	}()
+	for i := 1; i < len(tuples); i++ {
+		if _, _, err := u.Apply([]Update{{Key: "e", Tuples: tuples[i : i+1]}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+}

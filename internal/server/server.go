@@ -275,6 +275,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.queries.Add(1)
 	entities, liveTuples := s.u.Residency()
+	cs := s.u.CacheStats()
 	out := map[string]any{
 		"entities":           entities,
 		"live_tuples":        liveTuples,
@@ -287,6 +288,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"buffered_bytes":     s.buffered.Load(),
 		"max_buffered_bytes": s.opts.maxBufferedBytes(),
 		"durable":            s.opts.Store != nil,
+		// Read-path cache accounting: the settled-target memo (whole
+		// stream) and the per-version verdict caches (summed over live
+		// entities; hits/misses cumulative over each version chain).
+		"settled_hits":    cs.SettledHits,
+		"settled_misses":  cs.SettledMisses,
+		"verdict_hits":    cs.VerdictHits,
+		"verdict_misses":  cs.VerdictMisses,
+		"verdict_entries": cs.VerdictEntries,
 	}
 	if s.opts.Store != nil {
 		st := s.opts.Store.Stats()

@@ -1,0 +1,179 @@
+// Package vcache provides the concurrent verdict cache behind the
+// chase's cached candidate checks: a sharded, bounded map from packed
+// byte keys to values, with hit/miss accounting that survives version
+// turnover.
+//
+// The intended lifecycle mirrors the grounding-version chain it was
+// built for (see DESIGN.md invariant 8). A cache belongs to one
+// immutable grounding version, so its entries never need invalidation:
+// a verdict computed against a version is correct against that version
+// forever. When the version is superseded (chase.Grounding.Extend),
+// the successor calls NextVersion — a fresh, empty cache that shares
+// the chain's cumulative hit/miss counters, so operational accounting
+// spans an entity's whole life while entries are dropped together with
+// the version that made them valid. Nothing is pinned: a superseded
+// version's cache is garbage-collected with the version.
+//
+// Reads are lock-light and allocation-free: Get takes a shard read
+// lock and looks the []byte key up without converting it to a string
+// (the compiler elides the allocation for m[string(b)]). Put bounds
+// the cache by refusing inserts once its shard is full — a full cache
+// stops growing instead of evicting, which keeps cached-vs-uncached
+// equivalence trivially deterministic (an entry either is the verdict
+// the chase computes, or is absent).
+package vcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCap is the per-cache entry bound used when New is given cap
+// 0: generous next to any real candidate search (a top-k run checks
+// hundreds to thousands of candidates), small next to the grounding it
+// hangs off.
+const DefaultCap = 1 << 16
+
+// nshards is the number of stripes; a power of two so routing is a
+// mask. Checks run on at most GOMAXPROCS goroutines, so a handful of
+// stripes keeps lock contention negligible.
+const nshards = 8
+
+// Stats is a point-in-time view of a cache's accounting. Hits and
+// Misses are cumulative across the whole NextVersion chain; Entries
+// counts the current version's entries only (earlier versions' entries
+// died with them).
+type Stats struct {
+	Hits    int64
+	Misses  int64
+	Entries int64
+}
+
+// counters is the accounting shared along a NextVersion chain.
+type counters struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type shard[V any] struct {
+	mu sync.RWMutex
+	m  map[string]V
+}
+
+// Cache is a concurrent bounded map from packed byte keys to values.
+// The zero value is not usable; create with New. All methods are safe
+// for concurrent use. A nil *Cache is a valid "disabled" cache: Get
+// always misses (without counting), Put and Len are no-ops.
+type Cache[V any] struct {
+	c      *counters
+	cap    int // per-shard entry bound
+	shards [nshards]shard[V]
+}
+
+// New creates an empty cache bounded to roughly cap entries: cap == 0
+// means DefaultCap, cap < 0 means unbounded, and any positive cap is
+// rounded up to a multiple of the shard count.
+func New[V any](cap int) *Cache[V] {
+	c := &Cache[V]{c: &counters{}}
+	switch {
+	case cap == 0:
+		c.cap = DefaultCap / nshards
+	case cap < 0:
+		c.cap = -1
+	default:
+		c.cap = (cap + nshards - 1) / nshards
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]V)
+	}
+	return c
+}
+
+// NextVersion returns a fresh, empty cache with the same bound that
+// shares the receiver's cumulative hit/miss counters — the successor
+// cache of the next grounding version in an entity's chain. A nil
+// receiver stays nil (a disabled cache stays disabled down the chain).
+func (c *Cache[V]) NextVersion() *Cache[V] {
+	if c == nil {
+		return nil
+	}
+	n := &Cache[V]{c: c.c, cap: c.cap}
+	for i := range n.shards {
+		n.shards[i].m = make(map[string]V)
+	}
+	return n
+}
+
+// shardFor routes a key to its stripe (FNV-1a over the key bytes).
+func (c *Cache[V]) shardFor(key []byte) *shard[V] {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return &c.shards[h&(nshards-1)]
+}
+
+// Get returns the value stored under key and whether one exists,
+// recording a hit or miss. It never allocates: the []byte key is
+// looked up directly.
+func (c *Cache[V]) Get(key []byte) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	s := c.shardFor(key)
+	s.mu.RLock()
+	v, ok := s.m[string(key)]
+	s.mu.RUnlock()
+	if ok {
+		c.c.hits.Add(1)
+		return v, true
+	}
+	c.c.misses.Add(1)
+	return zero, false
+}
+
+// Put stores v under key unless the key's shard is at capacity (the
+// cache stops growing rather than evicting; see the package comment).
+// Concurrent Puts of one key are benign — verdicts are deterministic,
+// so racing writers store the same value.
+func (c *Cache[V]) Put(key []byte, v V) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if _, exists := s.m[string(key)]; exists || c.cap < 0 || len(s.m) < c.cap {
+		s.m[string(key)] = v
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the number of entries currently held.
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats returns the chain-cumulative hit/miss counts and the current
+// entry count; all zero for a nil (disabled) cache.
+func (c *Cache[V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:    c.c.hits.Load(),
+		Misses:  c.c.misses.Load(),
+		Entries: int64(c.Len()),
+	}
+}

@@ -1,0 +1,150 @@
+package vcache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func TestGetPut(t *testing.T) {
+	c := New[string](0)
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(key(1), "one")
+	v, ok := c.Get(key(1))
+	if !ok || v != "one" {
+		t.Fatalf("Get(1) = %q, %v; want one, true", v, ok)
+	}
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("hit on an absent key")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("Stats = %+v; want 1 hit, 2 misses, 1 entry", st)
+	}
+}
+
+func TestCapBound(t *testing.T) {
+	// Tiny cap: rounded to one entry per shard, so at most nshards
+	// entries total stick; inserts beyond that are refused, not evicted.
+	c := New[int](1)
+	for i := 0; i < 100; i++ {
+		c.Put(key(i), i)
+	}
+	if n := c.Len(); n > nshards {
+		t.Fatalf("Len = %d after 100 Puts with cap 1; want <= %d", n, nshards)
+	}
+	// Whatever got in stays in and stays correct.
+	kept := 0
+	for i := 0; i < 100; i++ {
+		if v, ok := c.Get(key(i)); ok {
+			kept++
+			if v != i {
+				t.Fatalf("Get(%d) = %d", i, v)
+			}
+		}
+	}
+	if kept != c.Len() {
+		t.Fatalf("kept %d entries but Len = %d", kept, c.Len())
+	}
+	// Overwriting an existing key is allowed even at capacity.
+	var present int
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Get(key(i)); ok {
+			present = i
+			break
+		}
+	}
+	c.Put(key(present), -1)
+	if v, _ := c.Get(key(present)); v != -1 {
+		t.Fatalf("overwrite at capacity failed: got %d", v)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	c := New[int](-1)
+	for i := 0; i < 10000; i++ {
+		c.Put(key(i), i)
+	}
+	if c.Len() != 10000 {
+		t.Fatalf("Len = %d; want 10000", c.Len())
+	}
+}
+
+func TestNextVersionSharesCounters(t *testing.T) {
+	c := New[int](0)
+	c.Put(key(1), 1)
+	c.Get(key(1)) // hit
+	c.Get(key(2)) // miss
+
+	n := c.NextVersion()
+	if n.Len() != 0 {
+		t.Fatalf("NextVersion carried %d entries; want 0", n.Len())
+	}
+	if _, ok := n.Get(key(1)); ok {
+		t.Fatal("NextVersion served a predecessor's entry")
+	}
+	st := n.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("successor Stats = %+v; want cumulative 1 hit, 2 misses", st)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("successor Entries = %d; want 0", st.Entries)
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	var c *Cache[int]
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(key(1), 1)
+	if c.Len() != 0 {
+		t.Fatal("nil cache Len != 0")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache Stats = %+v", st)
+	}
+	if c.NextVersion() != nil {
+		t.Fatal("nil cache NextVersion != nil")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New[int](-1)
+	const (
+		goroutines = 8
+		keys       = 512
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				for i := 0; i < keys; i++ {
+					if v, ok := c.Get(key(i)); ok && v != i {
+						panic(fmt.Sprintf("Get(%d) = %d", i, v))
+					}
+					c.Put(key(i), i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != keys {
+		t.Fatalf("Len = %d; want %d", c.Len(), keys)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != goroutines*50*keys {
+		t.Fatalf("hits+misses = %d; want %d", st.Hits+st.Misses, goroutines*50*keys)
+	}
+}

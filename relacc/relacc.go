@@ -112,6 +112,16 @@ type (
 	// Persister is the durability hook under Updater.Apply; see
 	// OpenStore for the packaged write-ahead-log implementation.
 	Persister = pipeline.Persister
+	// CacheStats aggregates an Updater's read-path cache accounting:
+	// the settled-target memo (each entity's last computed query
+	// answer, invalidated structurally when Apply publishes a new
+	// grounding version) and the per-version verdict caches that
+	// memoise candidate checks. Both caches are on by default and
+	// semantically invisible — cached answers are byte-identical to
+	// recomputing; BatchConfig.DisableSettledCache and
+	// BatchConfig.Options.DisableVerdictCache turn them off. Obtain
+	// with Updater.CacheStats.
+	CacheStats = pipeline.CacheStats
 )
 
 // Durable update stream API, re-exported from internal/wal.

@@ -10,7 +10,10 @@
 #   COUNT      go test -count value      (default 1)
 #
 # The tracked benchmarks are the hot paths the performance PRs moved:
-#   BenchmarkCheckPooled     allocation-free candidate check  (PR 1/4)
+#   BenchmarkCheckPooled     allocation-free candidate check, verdict
+#                            cache disabled — the raw chase   (PR 1/4)
+#   BenchmarkCheckCached     the same repeated check with the verdict
+#                            cache on (the default): a hit    (PR 7)
 #   BenchmarkTopKCTParallel  speculative parallel top-k       (PR 1)
 #   BenchmarkIncrementalAdd  delta instantiation vs rebuild   (PR 3/4)
 #   BenchmarkUpdaterApply    disjoint-key batch on the sharded
@@ -18,10 +21,12 @@
 #   BenchmarkWALAppend       per-batch durable-log cost, with and
 #                            without fsync                     (PR 6)
 #   BenchmarkRecoveryReplay  cold boot: log scan + full replay (PR 6)
+#   BenchmarkTopKWarmQuery   repeated Updater.Query, cold (both caches
+#                            off) vs warm (settled memo hit)   (PR 7)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr6.json}"
+out="${1:-BENCH_pr7.json}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-1}"
 
@@ -29,7 +34,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkCheckPooled$|BenchmarkTopKCTParallel|BenchmarkIncrementalAdd|BenchmarkUpdaterApply|BenchmarkWALAppend|BenchmarkRecoveryReplay' \
+  -bench 'BenchmarkCheckPooled$|BenchmarkCheckCached$|BenchmarkTopKCTParallel|BenchmarkIncrementalAdd|BenchmarkUpdaterApply|BenchmarkWALAppend|BenchmarkRecoveryReplay|BenchmarkTopKWarmQuery' \
   -benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw"
 
 # Parse `go test -bench` lines into JSON records. A -benchmem line looks

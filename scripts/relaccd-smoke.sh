@@ -61,6 +61,17 @@ expect '"rnds": 100'       "$base/v1/entities/m1"
 expect '"version": 0'      -X POST -d '{"tuples":[{"id":"m3","league":"west","rnds":1,"jersey":2},{"id":"m3","league":"east","rnds":3,"jersey":4}]}' "$base/v1/entities/m3/evidence"
 expect '"status": "incomplete"' "$base/v1/entities/m3"
 expect '"candidates"'      "$base/v1/entities/m3/topk?k=2&algo=rankjoin"
+# Repeated queries hit the read-path caches (PR 7): the second
+# identical top-k answers from the settled-target memo, and a different
+# algorithm recomputes but re-verifies its candidates through the
+# verdict cache — both layers must report nonzero hits in /v1/stats.
+expect '"candidates"'      "$base/v1/entities/m3/topk?k=2&algo=rankjoin"
+expect '"candidates"'      "$base/v1/entities/m3/topk?k=2&algo=topkct"
+stats=$(curl -sS --max-time 10 "$base/v1/stats")
+for f in settled_hits verdict_hits; do
+  echo "$stats" | grep -q "\"$f\": [1-9]" \
+    || { echo "$stats"; fail "no $f after repeated top-k queries"; }
+done
 # Error statuses stay errors.
 expect '"error"'           "$base/v1/entities/ghost"
 expect '"error"'           "$base/v1/entities/m1/topk?algo=quantum"
