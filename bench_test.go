@@ -16,6 +16,7 @@ import (
 	"repro/internal/chase"
 	"repro/internal/gen"
 	"repro/internal/model"
+	"repro/internal/order"
 	"repro/internal/paperdata"
 	"repro/internal/pipeline"
 	"repro/internal/rule"
@@ -222,6 +223,66 @@ func BenchmarkCheckCached(b *testing.B) {
 	b.StopTimer()
 	if after := g.VerdictCacheStats(); after.Hits-before.Hits < int64(b.N) {
 		b.Fatalf("timed checks were not cache hits: %+v -> %+v over %d iterations", before, after, b.N)
+	}
+}
+
+// BenchmarkColdCheck measures the true cold start a server pays the
+// first time it checks a candidate against a new grounding version:
+// checker construction (a tracked deep clone of the base order
+// matrices) plus the first full chase, with no pooled buffers and no
+// verdict cache to hide behind. Compare BenchmarkCheckPooled for the
+// steady-state cost once the pool is warm.
+func BenchmarkColdCheck(b *testing.B) {
+	g, _, cand := syn900Uncached(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := g.NewChecker()
+		c.Check(cand)
+	}
+}
+
+// BenchmarkOrderAdd measures the closure-restoring pair insertion on
+// one order matrix: each iteration resets a tracked relation to empty
+// and derives the full ascending chain 0 ⪯ 1 ⪯ ... ⪯ n-1 one Add at a
+// time — the worst-case insertion pattern, deriving O(n²) pairs through
+// the predecessor-propagation path.
+func BenchmarkOrderAdd(b *testing.B) {
+	for _, n := range []int{129, 900} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			base := order.New(n)
+			r := base.CloneTracked()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.ResetFrom(base)
+				for j := 0; j+1 < n; j++ {
+					r.Add(j, j+1)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOrderMax measures the λ scan on a full clique — the shape
+// with no early exit, where every row must be intersected.
+func BenchmarkOrderMax(b *testing.B) {
+	for _, n := range []int{129, 900} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := order.New(n)
+			members := make([]int, n)
+			for i := range members {
+				members[i] = i
+			}
+			r.SetClique(members)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if r.Max() != 0 {
+					b.Fatal("clique lost its maximum")
+				}
+			}
+		})
 	}
 }
 

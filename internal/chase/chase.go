@@ -988,9 +988,11 @@ func (g *Grounding) baseChase(zeroPairs []packedPair) {
 			rel.SetBelow32(nulls, nonNulls)
 		}
 	}
-	// Derive column counts of the seeded state.
+	// Derive column counts of the seeded state, reusing one buffer
+	// across the attributes.
+	cbuf := make([]int, g.n)
 	for a := 0; a < g.nattr; a++ {
-		for j, c := range e.orders.Attr(a).ColumnCounts() {
+		for j, c := range e.orders.Attr(a).ColumnCountsInto(cbuf) {
 			e.counts[a][j] = int32(c)
 		}
 	}

@@ -2,6 +2,7 @@ package chase
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/model"
 	"repro/internal/order"
@@ -12,18 +13,20 @@ import (
 type eventKind uint8
 
 const (
-	evPair   eventKind = iota // derive ti ⪯attr tj
-	evTarget                  // instantiate te[attr] = val
-	evStep                    // enforce ground step idx
+	evPair     eventKind = iota // derive ti ⪯attr tj
+	evPairMask                  // derive ti ⪯attr tj for every bit j of a word mask
+	evTarget                    // instantiate te[attr] = val
+	evStep                      // enforce ground step idx
 )
 
 type event struct {
 	kind eventKind
 	attr int32
-	i, j int32
+	i, j int32 // for evPairMask, j is the word index of mask
 	idx  int32
 	val  model.Value
 	vid  uint32 // dictionary ID of val, for evTarget events
+	mask uint64 // for evPairMask: each set bit b derives i ⪯ (j<<6)+b
 }
 
 // engine is the mutable chase state shared by the base chase and by
@@ -146,6 +149,14 @@ func (e *engine) pushPair(attr, i, j int32) {
 	e.queue = append(e.queue, event{kind: evPair, attr: attr, i: i, j: j})
 }
 
+// pushPairMask enqueues a whole word of pairs at once: i ⪯attr (wi<<6)+b
+// for every set bit b of mask. One queue entry replaces up to 64 evPair
+// entries — the event-queue churn the correlation cascade used to pay
+// per pair on large entities.
+func (e *engine) pushPairMask(attr, i, wi int32, mask uint64) {
+	e.queue = append(e.queue, event{kind: evPairMask, attr: attr, i: i, j: wi, mask: mask})
+}
+
 func (e *engine) pushTarget(attr int32, v model.Value, vid uint32) {
 	e.queue = append(e.queue, event{kind: evTarget, attr: attr, val: v, vid: vid})
 }
@@ -166,6 +177,8 @@ func (e *engine) drain() {
 		switch ev.kind {
 		case evPair:
 			e.applyPair(ev.attr, ev.i, ev.j)
+		case evPairMask:
+			e.applyPairMask(ev.attr, ev.i, ev.j, ev.mask)
 		case evTarget:
 			e.applyTarget(ev.attr, ev.val, ev.vid)
 		case evStep:
@@ -219,44 +232,68 @@ func (e *engine) applyPair(attr, i, j int32) {
 		e.conflictPair(attr, i, j)
 		return
 	}
-	for _, p := range rel.Add(int(i), int(j)) {
-		e.derivedPair(attr, int32(p.From), int32(p.To))
+	for _, d := range rel.AddDiffs(int(i), int(j)) {
+		e.derivedWord(attr, rel, d.Row, int(d.Word), d.Bits)
 		if e.conflict != "" {
 			return
 		}
 	}
 }
 
-// derivedPair post-processes one newly derived pair x ⪯attr y: conflict
-// detection, λ bookkeeping, trigger firing and correlation propagation.
-func (e *engine) derivedPair(attr, x, y int32) {
-	rel := e.orders.Attr(int(attr))
-	if x != y {
-		if rel.Has(int(y), int(x)) && !e.g.valEq(attr, x, y) {
-			e.conflictPair(attr, x, y)
+// applyPairMask expands a masked pair event bit by bit through
+// applyPair; most bits are no-ops (already derived by the closure
+// insertion that queued the mask), so the win is purely fewer queue
+// entries, not less derivation work.
+func (e *engine) applyPairMask(attr, i, wi int32, mask uint64) {
+	base := wi << 6
+	for m := mask; m != 0; m &= m - 1 {
+		if e.conflict != "" {
 			return
 		}
-		c := e.counts[attr]
-		c[y]++
-		if !e.base && c[y] == int32(e.g.n-1) {
-			// λ: y now dominates every other tuple.
-			if vid := e.g.valID[attr][y]; vid != model.NullID {
-				switch cur := e.teID[attr]; {
-				case cur == model.NullID:
-					e.pushTarget(attr, e.g.vals[attr][y], vid)
-				case cur != vid:
-					e.conflict = fmt.Sprintf(
-						"λ conflict on %s: maximum value %s contradicts te value %s",
-						e.g.schema.Attr(int(attr)), e.g.vals[attr][y], e.te.At(int(attr)))
-					return
+		e.applyPair(attr, i, base+int32(bits.TrailingZeros64(m)))
+	}
+}
+
+// derivedWord post-processes one word of newly derived pairs
+// x ⪯attr (wi<<6)+b for each set bit b of diff — conflict detection, λ
+// bookkeeping and trigger firing per bit, then correlation propagation
+// for the word as a whole. It is the word-at-a-time form of the old
+// per-pair derivedPair callback: the per-attribute lookups are hoisted
+// out of the bit loop, and the correlation cascade enqueues one masked
+// event per (rule, word) instead of one event per pair.
+func (e *engine) derivedWord(attr int32, rel *order.Relation, x int32, wi int, diff uint64) {
+	ids := e.g.valID[attr]
+	counts := e.counts[attr]
+	base := int32(wi << 6)
+	nm1 := int32(e.g.n - 1)
+	for d := diff; d != 0; d &= d - 1 {
+		y := base + int32(bits.TrailingZeros64(d))
+		if y != x {
+			if rel.Has(int(y), int(x)) && ids[x] != ids[y] {
+				e.conflictPair(attr, x, y)
+				return
+			}
+			counts[y]++
+			if !e.base && counts[y] == nm1 {
+				// λ: y now dominates every other tuple.
+				if vid := ids[y]; vid != model.NullID {
+					switch cur := e.teID[attr]; {
+					case cur == model.NullID:
+						e.pushTarget(attr, e.g.vals[attr][y], vid)
+					case cur != vid:
+						e.conflict = fmt.Sprintf(
+							"λ conflict on %s: maximum value %s contradicts te value %s",
+							e.g.schema.Attr(int(attr)), e.g.vals[attr][y], e.te.At(int(attr)))
+						return
+					}
 				}
 			}
 		}
+		if e.g.hasOrderTrig {
+			e.fireOrderKey(trigKey(attr, x, y))
+		}
 	}
-	if e.g.hasOrderTrig {
-		e.fireOrderKey(trigKey(attr, x, y))
-	}
-	e.fireCorr(attr, x, y)
+	e.fireCorrWord(attr, x, wi, diff)
 }
 
 // fireOrderKey satisfies every ground-step premise waiting on the order
@@ -305,6 +342,42 @@ func (e *engine) fireCorr(attr, x, y int32) {
 	}
 }
 
+// fireCorrWord propagates one word of derived pairs (x, base+b for each
+// set bit b of diff) through the correlated-attribute rules: per rule,
+// the bits failing the rule's premises are masked off and the survivors
+// go out as a single evPairMask event. A rule with no strictness and no
+// extra premises — the common shape — forwards the whole word without
+// touching any bit.
+func (e *engine) fireCorrWord(attr, x int32, wi int, diff uint64) {
+	crs := e.g.corrs[attr]
+	if len(crs) == 0 {
+		return
+	}
+	base := int32(wi << 6)
+	for ci := range crs {
+		cr := &crs[ci]
+		m := diff
+		if cr.strict || len(cr.extra) > 0 {
+			for d := diff; d != 0; d &= d - 1 {
+				y := base + int32(bits.TrailingZeros64(d))
+				if cr.strict && e.g.valEq(attr, x, y) {
+					m &^= d & -d
+					continue
+				}
+				for _, p := range cr.extra {
+					if !e.g.evalCmpOnPair(p, x, y) {
+						m &^= d & -d
+						break
+					}
+				}
+			}
+		}
+		if m != 0 {
+			e.pushPairMask(cr.toAttr, x, int32(wi), m)
+		}
+	}
+}
+
 // applyTarget enforces te[attr] = v: no-op when already set to v, a
 // conflict when set differently, otherwise an instantiation that fires
 // the target triggers and the built-in axiom ϕ8. Equality against the
@@ -335,10 +408,10 @@ func (e *engine) applyTarget(attr int32, v model.Value, vid uint32) {
 		// attr value equals the (now known) target value.
 		group := e.g.groupFor(attr, vid)
 		if len(group) > 0 {
-			e.orders.Attr(int(attr)).AddAllTo32(group, func(x, y int) {
-				if e.conflict == "" {
-					e.derivedPair(attr, int32(x), int32(y))
-				}
+			rel := e.orders.Attr(int(attr))
+			rel.AddAllToWords(group, func(p, wi int, diff uint64) bool {
+				e.derivedWord(attr, rel, int32(p), wi, diff)
+				return e.conflict == ""
 			})
 		}
 	}

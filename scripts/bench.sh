@@ -23,10 +23,15 @@
 #   BenchmarkRecoveryReplay  cold boot: log scan + full replay (PR 6)
 #   BenchmarkTopKWarmQuery   repeated Updater.Query, cold (both caches
 #                            off) vs warm (settled memo hit)   (PR 7)
+#   BenchmarkColdCheck       checker construction + first chase on a
+#                            fresh grounding version            (PR 8)
+#   BenchmarkOrderAdd        closure-restoring chain insertion on one
+#                            order matrix                       (PR 8)
+#   BenchmarkOrderMax        word-parallel λ scan on a full clique (PR 8)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-1}"
 
@@ -34,7 +39,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkCheckPooled$|BenchmarkCheckCached$|BenchmarkTopKCTParallel|BenchmarkIncrementalAdd|BenchmarkUpdaterApply|BenchmarkWALAppend|BenchmarkRecoveryReplay|BenchmarkTopKWarmQuery' \
+  -bench 'BenchmarkCheckPooled$|BenchmarkCheckCached$|BenchmarkColdCheck$|BenchmarkOrderAdd|BenchmarkOrderMax|BenchmarkTopKCTParallel|BenchmarkIncrementalAdd|BenchmarkUpdaterApply|BenchmarkWALAppend|BenchmarkRecoveryReplay|BenchmarkTopKWarmQuery' \
   -benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw"
 
 # Parse `go test -bench` lines into JSON records. A -benchmem line looks

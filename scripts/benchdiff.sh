@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# benchdiff.sh — compare two BENCH_*.json files produced by bench.sh and
+# print per-benchmark deltas, so a PR can state its regressions and wins
+# mechanically instead of eyeballing two JSON blobs.
+#
+# Usage:
+#   ./scripts/benchdiff.sh BENCH_pr7.json BENCH_pr8.json
+#
+# Output: one line per benchmark present in either file, with old and
+# new ns/op, the delta percentage (negative = faster), and the
+# allocs/op movement. Benchmarks present in only one file are flagged.
+# Exit status is always 0; the judgement is the reader's.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+
+python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {r["name"]: r for r in doc.get("results", [])}
+
+old_path, new_path = sys.argv[1], sys.argv[2]
+old, new = load(old_path), load(new_path)
+
+names = list(dict.fromkeys(list(old) + list(new)))
+width = max((len(n) for n in names), default=4)
+
+print(f"{'benchmark':<{width}}  {'old ns/op':>14}  {'new ns/op':>14}  {'delta':>8}  allocs/op")
+for n in names:
+    o, w = old.get(n), new.get(n)
+    if o is None:
+        print(f"{n:<{width}}  {'-':>14}  {w['ns_per_op']:>14}  {'new':>8}  {w.get('allocs_per_op')}")
+        continue
+    if w is None:
+        print(f"{n:<{width}}  {o['ns_per_op']:>14}  {'-':>14}  {'gone':>8}  -")
+        continue
+    ons, wns = o["ns_per_op"], w["ns_per_op"]
+    delta = "n/a" if not ons else f"{(wns - ons) / ons * 100:+.1f}%"
+    oa, wa = o.get("allocs_per_op"), w.get("allocs_per_op")
+    allocs = f"{oa}" if oa == wa else f"{oa} -> {wa}"
+    print(f"{n:<{width}}  {ons:>14}  {wns:>14}  {delta:>8}  {allocs}")
+EOF
