@@ -15,6 +15,14 @@
 // verdict per entity plus a summary. -o writes the settled targets
 // (deduced complete, or filled from the best candidate) as CSV.
 //
+// batch and append take -stream on|off|auto and -window N: the
+// streaming path decodes rows one at a time, seals entities as the
+// bounded window retires them, and feeds the worker pool with
+// backpressure, so memory is proportional to the window, never to the
+// relation — with output identical to the materialized path. auto (the
+// default) streams when the -by input arrives in contiguous per-key
+// runs (sorted input does).
+//
 // append is the incremental face of batch: the base relation is
 // deduced once, then the delta relation's tuples are routed by the -by
 // identifier into the live per-entity sessions and only the touched
@@ -42,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csvio"
 	"repro/internal/er"
+	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/pipeline"
 	"repro/internal/rule"
@@ -69,6 +78,8 @@ func main() {
 	topK := fs.Int("topk", 0, "batch: candidates per incomplete entity (0 = deduce only)")
 	outPath := fs.String("o", "", "batch: write settled targets to this CSV")
 	verbose := fs.Bool("v", false, "batch: print every entity (default: only unsettled ones)")
+	stream := fs.String("stream", "auto", "batch/append: constant-memory streaming ingest: on, off, or auto (stream when -by input is run-length sorted)")
+	window := fs.Int("window", 1024, "batch/append: max open entities in the streaming group window (0 = unbounded)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -79,7 +90,7 @@ func main() {
 		// mode's flags loudly instead of silently ignoring them.
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "by", "key", "threshold", "workers", "topk", "o", "v", "delta":
+			case "by", "key", "threshold", "workers", "topk", "o", "v", "delta", "stream", "window":
 				fatal(fmt.Errorf("flag -%s applies to batch/append; %s uses -k and -par", f.Name, cmd))
 			}
 		})
@@ -95,6 +106,7 @@ func main() {
 			by: *by, key: *key, threshold: *threshold,
 			workers: *workers, topK: *topK, algo: *algo,
 			out: *outPath, verbose: *verbose,
+			stream: *stream, window: *window,
 		})
 		return
 	case "append":
@@ -108,6 +120,7 @@ func main() {
 			data: *dataPath, delta: *deltaPath, master: *masterPath, rules: *rulesPath,
 			by: *by, workers: *workers, topK: *topK, algo: *algo,
 			out: *outPath, verbose: *verbose,
+			stream: *stream, window: *window,
 		})
 		return
 	default:
@@ -247,6 +260,54 @@ type batchArgs struct {
 	algo                string
 	out                 string
 	verbose             bool
+	stream              string
+	window              int
+}
+
+// useStreaming decides the ingest path for batch and append: -stream on
+// forces the constant-memory pipeline, off forbids it, and auto probes
+// the input — streaming becomes the default when the relation arrives
+// grouped by -by in contiguous runs (sorted input is, and so is any
+// export that emitted entities one at a time), the one shape that
+// streams at any window size. The probe is one cheap sequential pass;
+// a probe failure just falls back to the materialized path, which will
+// report the real error.
+func useStreaming(mode, data, by string) bool {
+	switch mode {
+	case "on":
+		return true
+	case "off":
+		return false
+	case "auto":
+	default:
+		fatal(fmt.Errorf("-stream must be on, off or auto (got %q)", mode))
+	}
+	if by == "" || data == "" {
+		return false
+	}
+	f, err := os.Open(data)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	ok, err := ingest.RunLength(f, data, by)
+	return err == nil && ok
+}
+
+// readHeaderSchema opens the relation just long enough to read its
+// header row: the streaming paths need the schema to parse rules
+// against before the single full pass begins.
+func readHeaderSchema(path string) (*model.Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	it, err := csvio.NewTupleIterator(f, path)
+	if err != nil {
+		return nil, err
+	}
+	return it.Schema(), nil
 }
 
 // runBatch is the multi-entity pipeline front end: relation CSV in,
@@ -263,6 +324,13 @@ func runBatch(a batchArgs) {
 	alg, err := pipeline.ParseAlgorithm(a.algo)
 	if err != nil {
 		fatal(err)
+	}
+	if useStreaming(a.stream, a.data, a.by) {
+		if a.by == "" {
+			fatal(fmt.Errorf("-stream on needs -by: similarity grouping (-key) must see the whole relation"))
+		}
+		runBatchStream(a, alg)
+		return
 	}
 
 	schema, tuples, err := csvio.ReadRelationFile(a.data)
@@ -315,6 +383,83 @@ func runBatch(a batchArgs) {
 	}
 }
 
+// runBatchStream is runBatch on the constant-memory pipeline: rows
+// decode one at a time, entities seal as the window retires them, and
+// verdicts (and -o rows) stream out while later rows are still being
+// read — identical output to the materialized path, memory bounded by
+// the window and the worker pool instead of the relation's length.
+func runBatchStream(a batchArgs, alg pipeline.Algorithm) {
+	schema, err := readHeaderSchema(a.data)
+	if err != nil {
+		fatal(err)
+	}
+	im, rules, err := loadMasterAndRules(a.master, a.rules, schema)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := pipeline.Config{
+		Master:  im,
+		Rules:   rules,
+		Workers: a.workers,
+		TopK:    a.topK,
+		Algo:    alg,
+	}
+	opts := ingest.Options{By: a.by, Window: er.Window{MaxEntities: a.window}}
+	fmt.Printf("streaming %s grouped by %s (window %d)\n", a.data, a.by, a.window)
+
+	var sum pipeline.Summary
+	settled := 0
+	run := func(rw *csvio.RelationWriter) error {
+		f, err := os.Open(a.data)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sum, err = ingest.StreamCSV(f, a.data, opts, cfg, func(r pipeline.Result) error {
+			target := settledTarget(r)
+			if target != nil {
+				settled++
+				if rw != nil {
+					if err := rw.Write(target); err != nil {
+						return err
+					}
+				}
+			}
+			if a.verbose || target == nil {
+				printEntityLine(fmt.Sprintf("%d", r.Index), r, a.verbose)
+			}
+			return nil
+		})
+		return err
+	}
+	if a.out == "" {
+		if err := run(nil); err != nil {
+			fatal(err)
+		}
+	} else {
+		// The whole run happens inside the atomic write: settled rows
+		// stream straight into the temp file as their entities resolve,
+		// and the rename publishes the complete output only after the
+		// stream ends cleanly.
+		if err := atomicWrite(a.out, func(w io.Writer) error {
+			rw, err := csvio.NewRelationWriter(w, schema)
+			if err != nil {
+				return err
+			}
+			if err := run(rw); err != nil {
+				return err
+			}
+			return rw.Flush()
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Println(sum.String())
+	if a.out != "" {
+		fmt.Printf("wrote %d settled targets (of %d entities) to %s\n", settled, sum.Entities, a.out)
+	}
+}
+
 type appendArgs struct {
 	data, delta, master, rules string
 	by                         string
@@ -322,6 +467,8 @@ type appendArgs struct {
 	algo                       string
 	out                        string
 	verbose                    bool
+	stream                     string
+	window                     int
 }
 
 // runAppend is the incremental pipeline front end: the base relation
@@ -341,15 +488,11 @@ func runAppend(a appendArgs) {
 	if err != nil {
 		fatal(err)
 	}
+	if useStreaming(a.stream, a.data, a.by) {
+		runAppendStream(a, alg)
+		return
+	}
 	schema, baseTuples, err := csvio.ReadRelationFile(a.data)
-	if err != nil {
-		fatal(err)
-	}
-	deltaSchema, deltaTuples, err := csvio.ReadRelationFile(a.delta)
-	if err != nil {
-		fatal(err)
-	}
-	deltaTuples, err = remapTuples(deltaTuples, deltaSchema, schema)
 	if err != nil {
 		fatal(err)
 	}
@@ -358,10 +501,6 @@ func runAppend(a appendArgs) {
 		fatal(err)
 	}
 	baseUps, baseLabels, err := groupUpdates(baseTuples, schema, a.by)
-	if err != nil {
-		fatal(err)
-	}
-	deltaUps, deltaLabels, err := groupUpdates(deltaTuples, schema, a.by)
 	if err != nil {
 		fatal(err)
 	}
@@ -388,25 +527,7 @@ func runAppend(a appendArgs) {
 	}
 	fmt.Println("base:", baseSum.String())
 
-	newKeys := 0
-	preVersion := make(map[string]int, len(deltaUps))
-	for i := range deltaUps {
-		v := u.Version(deltaUps[i].Key)
-		preVersion[deltaUps[i].Key] = v
-		if v < 0 {
-			newKeys++
-		}
-	}
-	deltaResults, deltaSum, err := u.Apply(deltaUps)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("delta: %d tuples touched %d entities (%d new); re-deduced targets:\n",
-		len(deltaTuples), len(deltaUps), newKeys)
-	for i, r := range deltaResults {
-		printEntityLine(deltaLabels[i], r, a.verbose)
-	}
-	fmt.Println("delta:", deltaSum.String())
+	deltaUps, deltaResults, preVersion := applyDelta(u, schema, a)
 
 	if a.out != "" {
 		// The two Apply phases already deduced every entity's final
@@ -453,6 +574,130 @@ func runAppend(a appendArgs) {
 		}
 		writeSettled(a.out, schema, settled, entities)
 	}
+}
+
+// applyDelta runs the delta phase both append paths share: the delta
+// CSV is read (deltas are the small side of an append), remapped onto
+// the base schema, routed into the live entities by the -by key, and
+// every touched entity's re-deduced verdict printed. It returns what
+// the materialized -o merge needs; the streaming path snapshots the
+// updater instead.
+func applyDelta(u *pipeline.Updater, schema *model.Schema, a appendArgs) ([]pipeline.Update, []pipeline.Result, map[string]int) {
+	deltaSchema, deltaTuples, err := csvio.ReadRelationFile(a.delta)
+	if err != nil {
+		fatal(err)
+	}
+	deltaTuples, err = remapTuples(deltaTuples, deltaSchema, schema)
+	if err != nil {
+		fatal(err)
+	}
+	deltaUps, deltaLabels, err := groupUpdates(deltaTuples, schema, a.by)
+	if err != nil {
+		fatal(err)
+	}
+	newKeys := 0
+	preVersion := make(map[string]int, len(deltaUps))
+	for i := range deltaUps {
+		v := u.Version(deltaUps[i].Key)
+		preVersion[deltaUps[i].Key] = v
+		if v < 0 {
+			newKeys++
+		}
+	}
+	deltaResults, deltaSum, err := u.Apply(deltaUps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("delta: %d tuples touched %d entities (%d new); re-deduced targets:\n",
+		len(deltaTuples), len(deltaUps), newKeys)
+	for i, r := range deltaResults {
+		printEntityLine(deltaLabels[i], r, a.verbose)
+	}
+	fmt.Println("delta:", deltaSum.String())
+	return deltaUps, deltaResults, preVersion
+}
+
+// runAppendStream is runAppend with the base relation seeded through
+// the constant-memory chain: tuples decode and intern one at a time,
+// the bounded window turns each sealed entity into one update, and the
+// live sessions build up in modest batches. The delta phase is the
+// shared materialized one (deltas are small); -o snapshots the final
+// state of every live entity.
+func runAppendStream(a appendArgs, alg pipeline.Algorithm) {
+	f, err := os.Open(a.data)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	it, err := csvio.NewTupleIterator(f, a.data)
+	if err != nil {
+		fatal(err)
+	}
+	schema := it.Schema()
+	im, rules, err := loadMasterAndRules(a.master, a.rules, schema)
+	if err != nil {
+		fatal(err)
+	}
+	u, err := pipeline.NewUpdater(schema, pipeline.Config{
+		Master:  im,
+		Rules:   rules,
+		Workers: a.workers,
+		TopK:    a.topK,
+		Algo:    alg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("streaming %s into live entities by %s (window %d)\n", a.data, a.by, a.window)
+	baseSum, err := ingest.SeedUpdater(u, it, ingest.SeedOptions{
+		By:     a.by,
+		Window: er.Window{MaxEntities: a.window},
+		Sink: func(r pipeline.Result) error {
+			if a.verbose {
+				printEntityLine(entityLabel(r, a.by), r, true)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("base: %d entities seeded\n", u.Len())
+	fmt.Println("base:", baseSum.String())
+
+	_, _, _ = applyDelta(u, schema, a)
+
+	if a.out != "" {
+		// Snapshot re-deduces nothing that has not changed (deductions
+		// are memoized per version); it is the final state of every
+		// entity in registration order — the same order the
+		// materialized merge writes.
+		_, results, _, err := u.Snapshot()
+		if err != nil {
+			fatal(err)
+		}
+		var settled []*model.Tuple
+		for _, r := range results {
+			if target := settledTarget(r); target != nil {
+				settled = append(settled, target)
+			}
+		}
+		writeSettled(a.out, schema, settled, len(results))
+	}
+}
+
+// entityLabel recovers the display label — what the -by column says —
+// from a streamed result, matching the labels groupUpdates produces
+// (Result.Key is the type-tagged routing key, not for humans).
+func entityLabel(r pipeline.Result, by string) string {
+	if r.Instance != nil {
+		if ts := r.Instance.Tuples(); len(ts) > 0 {
+			if v, ok := ts[0].Get(by); ok && !v.IsNull() {
+				return v.String()
+			}
+		}
+	}
+	return r.Key
 }
 
 // settledTarget returns the target a result settles on: the complete
@@ -602,7 +847,9 @@ func usage() {
   batch groups a multi-entity relation (-by col | -key a,b) and runs the
   pipeline over it (-workers N -topk K -algo topkct|rankjoin|topkcth -o out.csv);
   append deduces a base relation, then routes -delta tuples to the live
-  entities by -by and incrementally re-deduces only the touched ones`)
+  entities by -by and incrementally re-deduces only the touched ones;
+  -stream on|off|auto and -window N pick the constant-memory ingest path
+  (auto streams -by input whose rows arrive in contiguous per-key runs)`)
 }
 
 func fatal(err error) {

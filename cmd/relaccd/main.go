@@ -5,11 +5,15 @@
 //	relaccd -data seed.csv -rules rules.txt -by id [-master master.csv]
 //	        [-addr 127.0.0.1:8080] [-workers N] [-topk K] [-algo topkct|rankjoin|topkcth]
 //	        [-max-inflight N] [-data-dir DIR] [-fsync always|interval|never]
-//	        [-snapshot-every N] [-max-entity-tuples N]
+//	        [-snapshot-every N] [-max-entity-tuples N] [-window N]
 //
 // The CSV's header defines the entity schema every appended tuple must
 // conform to; its rows (may be none) are grouped into entities by the
-// -by identifier column and deduced once at startup. -topk configures
+// -by identifier column and deduced once at startup. The seed streams:
+// rows decode one at a time into the live store, so a large seed CSV
+// never materializes in memory; -window bounds the open-entity set (0 =
+// unbounded, safe for any row order — a bound needs the seed grouped in
+// contiguous -by runs, e.g. sorted on the identifier). -topk configures
 // the candidate search run when an APPEND leaves an entity incomplete
 // (0 = deduce only); the /topk query endpoint picks its own k and algo
 // per request. The daemon listens on -addr (use port 0 to let the
@@ -35,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -44,6 +49,8 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/csvio"
+	"repro/internal/er"
+	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/pipeline"
 	"repro/internal/rule"
@@ -70,6 +77,7 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "cadence of -fsync=interval")
 	snapshotEvery := flag.Int("snapshot-every", 0, "checkpoint after every N appends (0 = only on shutdown / POST /v1/snapshot)")
 	maxEntityTuples := flag.Int("max-entity-tuples", 0, "evidence tuples one entity may accumulate; appends past it fail with 422 (0 = unbounded)")
+	window := flag.Int("window", 0, "max open entities while streaming the seed (0 = unbounded; a bound needs the seed grouped in contiguous -by runs, e.g. sorted)")
 	verdictCache := flag.Bool("verdict-cache", true, "memoise chase candidate checks per grounding version")
 	verdictCacheCap := flag.Int("verdict-cache-cap", 0, "verdict-cache entries per grounding version (0 = default, negative = unbounded)")
 	settledCache := flag.Bool("settled-cache", true, "memoise each entity's last (version, k, algo) query answer")
@@ -87,14 +95,19 @@ func main() {
 		fatal(err)
 	}
 
-	schema, tuples, err := csvio.ReadRelationFile(*dataPath)
+	// The seed streams: only the header is read here (fixing the
+	// schema); rows decode one at a time at seed time, so a large seed
+	// CSV never materializes in memory.
+	dataFile, err := os.Open(*dataPath)
 	if err != nil {
 		fatal(err)
 	}
-	if len(tuples) > 0 && *by == "" {
-		fmt.Fprintln(os.Stderr, "relaccd: -by is required to group the seed rows into entities")
-		os.Exit(2)
+	defer dataFile.Close()
+	it, err := csvio.NewTupleIterator(dataFile, *dataPath)
+	if err != nil {
+		fatal(err)
 	}
+	schema := it.Schema()
 	var im *model.MasterRelation
 	if *masterPath != "" {
 		mf, err := os.Open(*masterPath)
@@ -156,6 +169,7 @@ func main() {
 	// (and was logged) when the store was first created, so re-seeding
 	// on every boot would double the evidence.
 	var store *wal.Store
+	seed := true
 	if *dataDir != "" {
 		store, err = wal.Open(*dataDir, schema, wal.Options{Fsync: syncPolicy, Interval: *fsyncInterval})
 		if err != nil {
@@ -169,33 +183,45 @@ func main() {
 		if !rs.Empty() {
 			fmt.Printf("relaccd: recovered %d entities from %s (snapshot seq %d, %d WAL batches replayed, resuming after seq %d)\n",
 				rs.Entities, *dataDir, rs.SnapshotSeq, rs.Batches, rs.LastSeq)
-			tuples = nil
+			seed = false
 		}
 	}
 
-	if len(tuples) > 0 {
-		// Unlike cmd/relacc's append mode (type-tagged Value.Key
-		// routing), the daemon keys by the identifier's string
-		// rendering: the HTTP key namespace is plain strings, so the
-		// "m1" a client POSTs evidence under must be the "m1" the seed
-		// created — and '/' cannot be addressed by the per-entity
-		// routes at all.
-		ups, _, err := pipeline.GroupUpdates(tuples, schema, *by,
-			func(v model.Value) (string, error) {
+	if seed && *by == "" {
+		// A header-only CSV legitimately just fixes the schema; any
+		// actual seed row needs the grouping column.
+		if _, err := it.Next(); err != io.EOF {
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "relaccd: -by is required to group the seed rows into entities")
+			os.Exit(2)
+		}
+	} else if seed {
+		// Stream the seed into the live store: tuples intern as they
+		// decode, entities seal as the -window retires them, and each
+		// becomes one update applied in modest batches — constant
+		// memory in the seed's length. Unlike cmd/relacc's append mode
+		// (type-tagged Value.Key routing), the daemon keys by the
+		// identifier's string rendering: the HTTP key namespace is
+		// plain strings, so the "m1" a client POSTs evidence under must
+		// be the "m1" the seed created — and '/' cannot be addressed by
+		// the per-entity routes at all.
+		sum, err := ingest.SeedUpdater(u, it, ingest.SeedOptions{
+			By:     *by,
+			Window: er.Window{MaxEntities: *window},
+			KeyOf: func(v model.Value) (string, error) {
 				k := v.String()
 				if err := server.ValidateKey(k); err != nil {
 					return "", fmt.Errorf("identifier not HTTP-routable: %w", err)
 				}
 				return k, nil
-			})
+			},
+		})
 		if err != nil {
 			fatal(err)
 		}
-		if _, sum, err := u.Apply(ups); err != nil {
-			fatal(err)
-		} else {
-			fmt.Printf("relaccd: seeded %s\n", sum.String())
-		}
+		fmt.Printf("relaccd: seeded %s\n", sum.String())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

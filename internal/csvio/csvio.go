@@ -5,16 +5,22 @@
 // numeric, true/false boolean, everything else string. Writing uses
 // quoted strings only when CSV requires it.
 //
-// RelationReader reads tuples incrementally — one Read call per row,
-// with per-row arity errors that name the offending row and allow
-// reading to continue; ReadRelation and friends are convenience
-// wrappers that drain it. A UTF-8 byte-order mark at the start of the
-// input is stripped (spreadsheet exports routinely prepend one).
+// TupleIterator is the pull-based decoder under everything here: one
+// Next call decodes one row into a tuple (optionally interning its
+// values into a shared model.Dict as it goes), so arbitrarily large
+// relations stream through in constant memory — no [][]string or
+// []*Tuple materialization ever exists on this path. RelationReader
+// wraps it with the historical Read spelling, and ReadRelation and
+// friends are convenience wrappers that drain it. Malformed rows
+// surface as *RowError naming the 1-based row and reading may continue
+// past them. A UTF-8 byte-order mark at the start of the input is
+// stripped (spreadsheet exports routinely prepend one).
 package csvio
 
 import (
 	"bufio"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -22,24 +28,57 @@ import (
 	"repro/internal/model"
 )
 
-// RelationReader streams a CSV relation: the header row is consumed at
-// construction (fixing the schema), Read returns one tuple per call.
-type RelationReader struct {
-	cr     *csv.Reader
-	schema *model.Schema
-	row    int // 1-based row number of the last record read
+// RowError reports one malformed CSV row — wrong field count, stray
+// quote — naming the 1-based row number (the header is row 1). Row
+// errors are recoverable: the iterator stays usable and the next Next
+// (or Read) continues with the following row, so a caller may skip bad
+// rows without losing the rest of the relation. Errors that are not
+// RowErrors (I/O failures, EOF) end the stream.
+type RowError struct {
+	Row int   // 1-based row number of the malformed row
+	Err error // what was wrong with it
 }
 
-// NewRelationReader reads the header row and fixes the relation schema
-// (named name). An empty input is an error; a leading UTF-8 BOM is
-// stripped.
-func NewRelationReader(r io.Reader, name string) (*RelationReader, error) {
+func (e *RowError) Error() string { return "csvio: " + e.Err.Error() }
+
+// Unwrap exposes the cause, so errors.As finds csv.ParseError inside.
+func (e *RowError) Unwrap() error { return e.Err }
+
+// IsRowError reports whether err is a recoverable per-row error, as
+// opposed to one that ends the stream.
+func IsRowError(err error) bool {
+	var re *RowError
+	return errors.As(err, &re)
+}
+
+// TupleIterator streams a CSV relation: the header row is consumed at
+// construction (fixing the schema), Next decodes and returns one tuple
+// per call. The iterator holds no row but the current one — the csv
+// reader's record buffer is reused across rows (csv.Reader.ReuseRecord)
+// and each row becomes a schema tuple immediately — so memory use is
+// independent of the relation's length.
+type TupleIterator struct {
+	cr     *csv.Reader
+	schema *model.Schema
+	dict   *model.Dict // when non-nil, Next interns each decoded tuple
+	row    int         // 1-based row number of the last record read
+}
+
+// NewTupleIterator reads the header row from r and fixes the relation
+// schema (named name). An empty input is an error; a leading UTF-8 BOM
+// is stripped. r may be any io.Reader — a file, a network body, a
+// generator — the iterator never seeks.
+func NewTupleIterator(r io.Reader, name string) (*TupleIterator, error) {
 	br := bufio.NewReader(r)
 	if lead, err := br.Peek(3); err == nil && string(lead) == "\xef\xbb\xbf" {
 		br.Discard(3)
 	}
 	cr := csv.NewReader(br)
 	cr.FieldsPerRecord = -1 // arity checked per row, with row numbers
+	// Reuse the per-row field slice: the field strings themselves are
+	// carved from a fresh per-record allocation, so the values a tuple
+	// retains are safe; only the []string scaffolding is recycled.
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err == io.EOF {
 		return nil, fmt.Errorf("csvio: empty input")
@@ -47,37 +86,83 @@ func NewRelationReader(r io.Reader, name string) (*RelationReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("csvio: %w", err)
 	}
+	// The header was read into the reused record; NewSchema copies the
+	// attribute strings it keeps, so no aliasing survives.
 	schema, err := model.NewSchema(name, header...)
 	if err != nil {
 		return nil, err
 	}
-	return &RelationReader{cr: cr, schema: schema, row: 1}, nil
+	return &TupleIterator{cr: cr, schema: schema, row: 1}, nil
 }
 
 // Schema returns the relation schema read from the header row.
-func (rr *RelationReader) Schema() *model.Schema { return rr.schema }
+func (it *TupleIterator) Schema() *model.Schema { return it.schema }
+
+// Row returns the 1-based row number of the last record read (1 after
+// construction: the header).
+func (it *TupleIterator) Row() int { return it.row }
+
+// Intern makes every subsequently decoded tuple carry cached dictionary
+// IDs for its values under d (interning new values as they stream by),
+// so downstream grounding does no dict probes for streamed tuples. It
+// returns the iterator for chaining.
+func (it *TupleIterator) Intern(d *model.Dict) *TupleIterator {
+	it.dict = d
+	return it
+}
+
+// Next returns the next tuple, or io.EOF after the last row. A
+// malformed row returns a *RowError naming the 1-based row number;
+// reading may continue past it.
+func (it *TupleIterator) Next() (*model.Tuple, error) {
+	record, err := it.cr.Read()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	it.row++
+	if err != nil {
+		var pe *csv.ParseError
+		if errors.As(err, &pe) {
+			return nil, &RowError{Row: it.row, Err: err}
+		}
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	if len(record) != it.schema.Arity() {
+		return nil, &RowError{Row: it.row,
+			Err: fmt.Errorf("row %d has %d fields, want %d", it.row, len(record), it.schema.Arity())}
+	}
+	t := model.NewTuple(it.schema)
+	for j, cell := range record {
+		t.SetAt(j, model.Parse(cell))
+	}
+	if it.dict != nil {
+		t.Intern(it.dict)
+	}
+	return t, nil
+}
+
+// RelationReader streams a CSV relation: the header row is consumed at
+// construction (fixing the schema), Read returns one tuple per call.
+// It is TupleIterator under the historical name and method spelling.
+type RelationReader struct {
+	*TupleIterator
+}
+
+// NewRelationReader reads the header row and fixes the relation schema
+// (named name). An empty input is an error; a leading UTF-8 BOM is
+// stripped.
+func NewRelationReader(r io.Reader, name string) (*RelationReader, error) {
+	it, err := NewTupleIterator(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return &RelationReader{TupleIterator: it}, nil
+}
 
 // Read returns the next tuple, or io.EOF after the last row. A row
 // whose field count differs from the header's arity is an error naming
 // the 1-based row number; reading may continue past it.
-func (rr *RelationReader) Read() (*model.Tuple, error) {
-	record, err := rr.cr.Read()
-	if err == io.EOF {
-		return nil, io.EOF
-	}
-	rr.row++
-	if err != nil {
-		return nil, fmt.Errorf("csvio: %w", err)
-	}
-	if len(record) != rr.schema.Arity() {
-		return nil, fmt.Errorf("csvio: row %d has %d fields, want %d", rr.row, len(record), rr.schema.Arity())
-	}
-	t := model.NewTuple(rr.schema)
-	for j, cell := range record {
-		t.SetAt(j, model.Parse(cell))
-	}
-	return t, nil
-}
+func (rr *RelationReader) Read() (*model.Tuple, error) { return rr.Next() }
 
 // ReadAll drains the reader, returning every remaining tuple; it stops
 // at the first malformed row.
@@ -145,26 +230,67 @@ func ReadMaster(r io.Reader, name string) (*model.MasterRelation, error) {
 	return im, nil
 }
 
-// WriteRelation writes a header plus one row per tuple.
-func WriteRelation(w io.Writer, schema *model.Schema, tuples []*model.Tuple) error {
+// RelationWriter streams a CSV relation out one tuple at a time — the
+// write-side mirror of TupleIterator, for outputs produced while their
+// rows are still being computed. The header is written at construction;
+// Flush must be called after the last Write.
+type RelationWriter struct {
+	cw     *csv.Writer
+	schema *model.Schema
+	row    []string
+	n      int
+}
+
+// NewRelationWriter writes the schema's header row and returns a writer
+// for its tuples.
+func NewRelationWriter(w io.Writer, schema *model.Schema) (*RelationWriter, error) {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(schema.Attrs()); err != nil {
+		return nil, err
+	}
+	return &RelationWriter{cw: cw, schema: schema, row: make([]string, schema.Arity())}, nil
+}
+
+// Write appends one tuple as a CSV row (nulls render as empty cells).
+// The tuple is read positionally, so any schema with the same attribute
+// order works.
+func (rw *RelationWriter) Write(t *model.Tuple) error {
+	for j := range rw.row {
+		v := t.At(j)
+		if v.IsNull() {
+			rw.row[j] = ""
+		} else {
+			rw.row[j] = v.String()
+		}
+	}
+	if err := rw.cw.Write(rw.row); err != nil {
 		return err
 	}
-	row := make([]string, schema.Arity())
+	rw.n++
+	return nil
+}
+
+// Count returns how many tuples have been written (excluding the
+// header).
+func (rw *RelationWriter) Count() int { return rw.n }
+
+// Flush writes any buffered rows through and reports the first error
+// the underlying writer hit.
+func (rw *RelationWriter) Flush() error {
+	rw.cw.Flush()
+	return rw.cw.Error()
+}
+
+// WriteRelation writes a header plus one row per tuple.
+func WriteRelation(w io.Writer, schema *model.Schema, tuples []*model.Tuple) error {
+	rw, err := NewRelationWriter(w, schema)
+	if err != nil {
+		return err
+	}
 	for _, t := range tuples {
-		for j := range row {
-			v := t.At(j)
-			if v.IsNull() {
-				row[j] = ""
-			} else {
-				row[j] = v.String()
-			}
-		}
-		if err := cw.Write(row); err != nil {
+		if err := rw.Write(t); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return rw.Flush()
 }

@@ -1,0 +1,210 @@
+package csvio_test
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/csvio"
+	"repro/internal/model"
+)
+
+func TestTupleIteratorInterns(t *testing.T) {
+	it, err := csvio.NewTupleIterator(strings.NewReader(sample), "stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := model.NewDict()
+	it.Intern(d)
+	var n int
+	for {
+		tu, err := it.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < tu.Schema().Arity(); j++ {
+			id, ok := tu.IDIn(d, j)
+			if !ok {
+				t.Fatalf("row %d col %d: no cached ID", it.Row(), j)
+			}
+			if got := d.ValueOf(id); !got.Equal(tu.At(j)) {
+				t.Fatalf("row %d col %d: ID %d maps to %v, want %v", it.Row(), j, id, got, tu.At(j))
+			}
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("streamed %d tuples, want 3", n)
+	}
+	if d.Size() == 1 { // only NullID would mean nothing was interned
+		t.Fatal("dict empty after interning stream")
+	}
+}
+
+func TestTupleIteratorRowError(t *testing.T) {
+	it, err := csvio.NewTupleIterator(strings.NewReader("a,b\n1,2\n3\n\"x\nok,9\n"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(); err != nil {
+		t.Fatalf("row 2: %v", err)
+	}
+	// Ragged row: recoverable, names row 3.
+	_, err = it.Next()
+	var re *csvio.RowError
+	if !errors.As(err, &re) || re.Row != 3 {
+		t.Fatalf("ragged row: want *RowError{Row: 3}, got %v", err)
+	}
+	if !csvio.IsRowError(err) {
+		t.Fatalf("IsRowError(%v) = false", err)
+	}
+	if !strings.Contains(err.Error(), "row 3") {
+		t.Fatalf("error should name row 3: %v", err)
+	}
+	// Unterminated quote: a csv parse error, also a recoverable RowError.
+	_, err = it.Next()
+	if !csvio.IsRowError(err) {
+		t.Fatalf("quote error should be a RowError, got %v", err)
+	}
+	// EOF is not a RowError.
+	for {
+		_, err = it.Next()
+		if err == nil {
+			continue
+		}
+		if csvio.IsRowError(err) {
+			continue
+		}
+		break
+	}
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("stream should end in io.EOF, got %v", err)
+	}
+	if csvio.IsRowError(io.EOF) {
+		t.Fatal("IsRowError(io.EOF) = true")
+	}
+}
+
+func TestTupleIteratorRowCounter(t *testing.T) {
+	it, err := csvio.NewTupleIterator(strings.NewReader("a\n1\n2\n"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Row() != 1 {
+		t.Fatalf("after header Row() = %d, want 1", it.Row())
+	}
+	it.Next()
+	if it.Row() != 2 {
+		t.Fatalf("Row() = %d, want 2", it.Row())
+	}
+	it.Next()
+	if it.Row() != 3 {
+		t.Fatalf("Row() = %d, want 3", it.Row())
+	}
+}
+
+// TestTupleIteratorRetainsValues pins the ReuseRecord safety argument:
+// tuples decoded earlier must not be corrupted by later reads reusing
+// the record buffer.
+func TestTupleIteratorRetainsValues(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("name,v\n")
+	for i := 0; i < 100; i++ {
+		sb.WriteString("n")
+		sb.WriteByte(byte('0' + i%10))
+		sb.WriteString(",")
+		sb.WriteByte(byte('a' + i%26))
+		sb.WriteString("\n")
+	}
+	it, err := csvio.NewTupleIterator(strings.NewReader(sb.String()), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []*model.Tuple
+	for {
+		tu, err := it.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, tu)
+	}
+	for i, tu := range all {
+		wantName := "n" + string(byte('0'+i%10))
+		wantV := string(byte('a' + i%26))
+		if n, _ := tu.Get("name"); n.String() != wantName {
+			t.Fatalf("tuple %d name = %q, want %q (record buffer aliased?)", i, n.String(), wantName)
+		}
+		if v, _ := tu.Get("v"); v.String() != wantV {
+			t.Fatalf("tuple %d v = %q, want %q", i, v.String(), wantV)
+		}
+	}
+}
+
+// FuzzTupleIterator runs the iterator over arbitrary bytes and checks
+// its contract differentially against RelationReader (which shares the
+// core but must agree observation-for-observation): same schema, same
+// tuples, same errors in the same order, and RowErrors always carry a
+// row number past the header.
+func FuzzTupleIterator(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte("a,b\n1,2\n3\n4,5\n"))                               // ragged row mid-stream
+	f.Add([]byte("\xef\xbb\xbfa,b\n1,\xef\xbb\xbf2\n"))               // BOM at start and mid-stream
+	f.Add([]byte("a,b\r\n1,2\r\n3,4\r\n"))                            // CRLF endings
+	f.Add([]byte("name,notes\n\"Jordan, Michael\",\"\"\"hi\"\"\"\n")) // quoted separators
+	f.Add([]byte("a\n\"unterminated\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("a,a\n1,2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		it, errIt := csvio.NewTupleIterator(strings.NewReader(string(data)), "fz")
+		rr, errRR := csvio.NewRelationReader(strings.NewReader(string(data)), "fz")
+		if (errIt == nil) != (errRR == nil) {
+			t.Fatalf("constructor disagreement: %v vs %v", errIt, errRR)
+		}
+		if errIt != nil {
+			return
+		}
+		if got, want := it.Schema().Arity(), rr.Schema().Arity(); got != want {
+			t.Fatalf("schema arity %d vs %d", got, want)
+		}
+		for steps := 0; steps < 10000; steps++ {
+			tu, err := it.Next()
+			tu2, err2 := rr.Read()
+			if (err == nil) != (err2 == nil) {
+				t.Fatalf("step %d: error disagreement: %v vs %v", steps, err, err2)
+			}
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					if !errors.Is(err2, io.EOF) {
+						t.Fatalf("step %d: EOF vs %v", steps, err2)
+					}
+					return
+				}
+				if err.Error() != err2.Error() {
+					t.Fatalf("step %d: %q vs %q", steps, err, err2)
+				}
+				var re *csvio.RowError
+				if errors.As(err, &re) {
+					if re.Row < 2 {
+						t.Fatalf("step %d: RowError row %d before data rows", steps, re.Row)
+					}
+					continue // recoverable: keep reading
+				}
+				return // stream-ending error on both
+			}
+			for j := 0; j < it.Schema().Arity(); j++ {
+				// Compare canonical keys, not Equal: NaN != NaN, but
+				// the two readers must still decode it identically.
+				if tu.At(j).Key() != tu2.At(j).Key() {
+					t.Fatalf("step %d col %d: %v vs %v", steps, j, tu, tu2)
+				}
+			}
+		}
+	})
+}

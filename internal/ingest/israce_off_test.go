@@ -1,0 +1,8 @@
+//go:build !race
+
+package ingest_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// memory-guard test skips under it (instrumentation multiplies heap use
+// and the guard measures production allocation behaviour).
+const raceEnabled = false

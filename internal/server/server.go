@@ -54,6 +54,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/pipeline"
+	"repro/internal/stats"
 	"repro/internal/wal"
 )
 
@@ -143,6 +144,10 @@ type Server struct {
 	queries atomic.Int64 // read requests served
 	errs    atomic.Int64 // requests answered with a 4xx/5xx status
 
+	// appendLat windows the latest Apply latencies (the updater call
+	// alone, not JSON or queueing) for the stats percentiles.
+	appendLat *stats.Ring
+
 	// buffered is the aggregate request-body bytes currently held by
 	// readBody, across all connections; the MaxBufferedBytes gate.
 	buffered atomic.Int64
@@ -158,7 +163,7 @@ type Server struct {
 // hold live entities (a seeded stream) and may keep receiving direct
 // Apply calls; the server adds no state of its own beyond counters.
 func New(u *pipeline.Updater, opts Options) *Server {
-	return &Server{u: u, opts: opts, started: time.Now()}
+	return &Server{u: u, opts: opts, started: time.Now(), appendLat: stats.NewRing(0)}
 }
 
 // Handler returns the routing handler with the concurrency limit
@@ -296,6 +301,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"verdict_hits":    cs.VerdictHits,
 		"verdict_misses":  cs.VerdictMisses,
 		"verdict_entries": cs.VerdictEntries,
+		// Append latency over the last stats.DefaultRingSize Apply
+		// calls (absent until the first append): what one evidence
+		// batch costs to absorb, excluding JSON and queueing time.
+		"append_samples": s.appendLat.Len(),
+	}
+	if s.appendLat.Len() > 0 {
+		ps := s.appendLat.Percentiles(50, 95, 99)
+		out["append_p50_us"] = ps[0].Microseconds()
+		out["append_p95_us"] = ps[1].Microseconds()
+		out["append_p99_us"] = ps[2].Microseconds()
 	}
 	if s.opts.Store != nil {
 		st := s.opts.Store.Stats()
@@ -466,7 +481,9 @@ func (s *Server) handleAppendOne(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.appends.Add(1)
+	applyStart := time.Now()
 	results, _, err := s.u.Apply([]pipeline.Update{{Key: key, Tuples: tuples}})
+	s.appendLat.Add(time.Since(applyStart))
 	if err != nil {
 		s.error(w, http.StatusBadRequest, err.Error())
 		return
@@ -525,7 +542,9 @@ func (s *Server) handleAppendBatch(w http.ResponseWriter, r *http.Request) {
 		updates = append(updates, pipeline.Update{Key: up.Key, Tuples: tuples})
 	}
 	s.appends.Add(1)
+	applyStart := time.Now()
 	results, sum, err := s.u.Apply(updates)
+	s.appendLat.Add(time.Since(applyStart))
 	if err != nil {
 		// An empty key fails the whole batch before any work starts.
 		s.error(w, http.StatusBadRequest, err.Error())

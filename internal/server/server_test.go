@@ -122,6 +122,34 @@ func TestAppendQueryRoundTrip(t *testing.T) {
 		out["appends"] != float64(2) || out["tuples"] != float64(3) {
 		t.Fatalf("stats: %d %v", code, out)
 	}
+	// Both appends landed in the latency window; the percentiles are
+	// ordered and real (a duration of 0µs is plausible on a fast box,
+	// so only ordering and presence are asserted).
+	if out["append_samples"] != float64(2) {
+		t.Fatalf("append_samples: %v", out)
+	}
+	p50, ok50 := out["append_p50_us"].(float64)
+	p95, ok95 := out["append_p95_us"].(float64)
+	p99, ok99 := out["append_p99_us"].(float64)
+	if !ok50 || !ok95 || !ok99 || p50 > p95 || p95 > p99 {
+		t.Fatalf("append latency percentiles: %v", out)
+	}
+}
+
+// TestStatsNoAppends: before any evidence arrives the latency window is
+// empty — samples report 0 and no percentile fields are emitted (an
+// invented 0µs p99 would read as "fast", not "no data").
+func TestStatsNoAppends(t *testing.T) {
+	s, _ := newTestServer(t, pipeline.Config{})
+	code, out := do(t, s.Handler(), "GET", "/v1/stats", nil)
+	if code != http.StatusOK || out["append_samples"] != float64(0) {
+		t.Fatalf("stats: %d %v", code, out)
+	}
+	for _, k := range []string{"append_p50_us", "append_p95_us", "append_p99_us"} {
+		if _, present := out[k]; present {
+			t.Fatalf("%s emitted with no samples: %v", k, out)
+		}
+	}
 }
 
 // TestTopKQuery: an entity left incomplete serves candidates through

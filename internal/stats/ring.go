@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Ring records the most recent duration samples in a fixed-size window
+// and answers percentile queries over them — the serving-side sibling
+// of Timing, which grows without bound and is not concurrency-safe. A
+// distribution that only ever accumulates would average a regression
+// away under weeks of history; a bounded window of the last N samples
+// keeps the percentiles describing the server as it is NOW, in constant
+// memory. Safe for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int // buf index the next Add writes
+	n    int // samples held, <= len(buf)
+}
+
+// DefaultRingSize is the window used when NewRing is given a
+// non-positive capacity: large enough that p99 rests on ~10 samples,
+// small enough to be noise in a server's footprint (8 KiB).
+const DefaultRingSize = 1024
+
+// NewRing returns a ring holding the last capacity samples
+// (DefaultRingSize when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Ring{buf: make([]time.Duration, capacity)}
+}
+
+// Add records one sample, evicting the oldest once the window is full.
+func (r *Ring) Add(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many samples the window currently holds.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Percentiles answers several percentile queries (each in [0, 100])
+// over one consistent snapshot of the window, sorted once for all of
+// them. Each answer is nearest-rank — an actual recorded sample, never
+// an interpolated value. Nil when the window is empty.
+func (r *Ring) Percentiles(ps ...float64) []time.Duration {
+	r.mu.Lock()
+	sorted := append([]time.Duration(nil), r.buf[:r.n]...)
+	r.mu.Unlock()
+	if len(sorted) == 0 {
+		return nil
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]time.Duration, len(ps))
+	for i, p := range ps {
+		// Nearest-rank: the smallest sample at or below which at least
+		// p% of the window falls, rank = ceil(p/100 * n).
+		rank := int(float64(len(sorted)) * p / 100)
+		if float64(rank) < float64(len(sorted))*p/100 {
+			rank++
+		}
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingPercentiles(t *testing.T) {
+	r := NewRing(100)
+	// 1ms..100ms: nearest-rank percentiles are exact sample values.
+	for i := 1; i <= 100; i++ {
+		r.Add(time.Duration(i) * time.Millisecond)
+	}
+	ps := r.Percentiles(50, 95, 99, 100)
+	want := []time.Duration{50 * time.Millisecond, 95 * time.Millisecond,
+		99 * time.Millisecond, 100 * time.Millisecond}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Errorf("percentile %d: %v, want %v", i, ps[i], want[i])
+		}
+	}
+	if r.Len() != 100 {
+		t.Errorf("Len = %d, want 100", r.Len())
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 8; i++ {
+		r.Add(time.Duration(i) * time.Second)
+	}
+	// Only 5s..8s survive: the window describes the server NOW.
+	if got := r.Percentiles(0)[0]; got != 5*time.Second {
+		t.Errorf("min after wrap = %v, want 5s", got)
+	}
+	if got := r.Percentiles(100)[0]; got != 8*time.Second {
+		t.Errorf("max after wrap = %v, want 8s", got)
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0) // default capacity
+	if r.Len() != 0 {
+		t.Errorf("empty Len = %d", r.Len())
+	}
+	if ps := r.Percentiles(50, 99); ps != nil {
+		t.Errorf("empty Percentiles = %v, want nil", ps)
+	}
+	r.Add(7 * time.Millisecond)
+	// A single sample answers every percentile.
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := r.Percentiles(p)[0]; got != 7*time.Millisecond {
+			t.Errorf("p%v over one sample = %v", p, got)
+		}
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add(time.Duration(i))
+				r.Percentiles(50, 99)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Errorf("Len = %d, want 64", r.Len())
+	}
+}

@@ -60,6 +60,51 @@ C-99,7,5.00
 	// 3/3 complete, coverage 100%
 }
 
+// ExampleStreamCSV processes the same feed as one composed stream:
+// rows decode one at a time, entities seal as soon as the window
+// retires them (sorted input needs a window of just one open entity),
+// and verdicts stream out while later rows are still being read —
+// constant memory in the relation's length, byte-identical output to
+// ExampleRun's materialized path.
+func ExampleStreamCSV() {
+	csvData := `sku,rev,price
+A-17,1,9.99
+A-17,2,10.49
+B-23,1,24.00
+B-23,3,23.50
+C-99,7,5.00
+`
+	schema, err := relacc.NewSchema("feed", "sku", "rev", "price")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := relacc.ParseRules(`
+		rev:   t1[rev] < t2[rev] -> t1 <= t2 @ rev
+		price: t1 < t2 @ rev , t2[price] != null -> t1 <= t2 @ price
+	`, schema, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	summary, err := relacc.StreamCSV(strings.NewReader(csvData), "feed",
+		relacc.StreamOptions{By: "sku", Window: relacc.Window{MaxEntities: 1}},
+		relacc.BatchConfig{Rules: rules, Workers: 2, TopK: 3},
+		func(r relacc.Result) error {
+			fmt.Printf("%s: %s\n", r.Status(), r.Deduction.Target)
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d/%d complete, coverage %.0f%%\n",
+		summary.Complete, summary.Entities, 100*summary.Coverage())
+	// Output:
+	// complete: (A-17, 2, 10.49)
+	// complete: (B-23, 3, 23.5)
+	// complete: (C-99, 7, 5)
+	// 3/3 complete, coverage 100%
+}
+
 // ExampleNewUpdater feeds the same product feed as a live stream of
 // evidence deltas: the base relation seeds per-entity sessions, a
 // later batch routes new revisions to them by sku, and only the

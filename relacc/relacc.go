@@ -37,8 +37,12 @@
 //
 // Raw relations enter through ReadRelation (CSV) and are grouped into
 // entity instances either by an existing identifier column (GroupBy) or
-// by similarity-based entity resolution (Resolve). Rules are written in
-// the textual rule language (ParseRules); see DESIGN.md for the
+// by similarity-based entity resolution (Resolve). For relations too
+// large to hold, StreamCSV runs the same CSV → group → deduce chain as
+// one composed stream in constant memory: rows decode one at a time,
+// entities seal under a bounded Window, and results are byte-identical
+// to the materialized path (DESIGN.md invariant 10). Rules are written
+// in the textual rule language (ParseRules); see DESIGN.md for the
 // subsystem map and the data-flow picture, and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 //
@@ -53,6 +57,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csvio"
 	"repro/internal/er"
+	"repro/internal/ingest"
 	"repro/internal/model"
 	"repro/internal/pipeline"
 	"repro/internal/rule"
@@ -355,6 +360,43 @@ func WriteRelation(w io.Writer, schema *Schema, tuples []*Tuple) error {
 // identifier. Null-keyed tuples become singleton entities.
 func GroupBy(tuples []*Tuple, s *Schema, attr string) ([]*EntityInstance, error) {
 	return er.GroupBy(tuples, s, attr)
+}
+
+// Streaming ingest API, re-exported from internal/ingest and
+// internal/er.
+type (
+	// StreamOptions tunes StreamCSV: the grouping attribute, the
+	// bounded window, and the bad-row policy.
+	StreamOptions = ingest.Options
+	// Window bounds the streaming grouper's working set of open
+	// entities (max open entities and/or approximate bytes); the zero
+	// value is unbounded. Sorted input streams at Window{MaxEntities:1}.
+	Window = er.Window
+	// WindowError reports input too disordered for the window: a
+	// grouping key reappeared after its entity was already emitted.
+	// StreamCSV refuses with it rather than ever emitting results that
+	// differ from the materialized run.
+	WindowError = er.WindowError
+)
+
+// IsRowError reports whether an error handed to
+// StreamOptions.OnRowError is a recoverable malformed-CSV-row error
+// (safe to skip), as opposed to one that ends the stream.
+var IsRowError = csvio.IsRowError
+
+// StreamCSV processes a CSV relation of any length in constant memory:
+// one composed stream decodes each row, groups rows into entities by
+// exact equality on opts.By within the bounded opts.Window, and feeds
+// completed entities to the batch worker pool with backpressure all the
+// way to the reader — nothing is ever materialized. Results reach sink
+// in entity (first-appearance) order and are byte-identical to
+// ReadRelation + GroupBy + Run over the same input; input too
+// disordered for the window aborts with a *WindowError instead of ever
+// splitting an entity. Sorted input works at Window{MaxEntities: 1};
+// the zero Window is unbounded (correct for any order, at the
+// materialized path's memory cost).
+func StreamCSV(r io.Reader, name string, opts StreamOptions, cfg BatchConfig, sink func(Result) error) (Summary, error) {
+	return ingest.StreamCSV(r, name, opts, cfg, sink)
 }
 
 // ResolveConfig tunes similarity-based entity resolution; see

@@ -28,10 +28,13 @@
 #   BenchmarkOrderAdd        closure-restoring chain insertion on one
 #                            order matrix                       (PR 8)
 #   BenchmarkOrderMax        word-parallel λ scan on a full clique (PR 8)
+#   BenchmarkStreamIngest    end-to-end CSV ingest, materialized vs
+#                            streaming: rows/s and peak sampled heap
+#                            (peak-bytes — the constant-memory claim) (PR 9)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr9.json}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-1}"
 
@@ -39,7 +42,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkCheckPooled$|BenchmarkCheckCached$|BenchmarkColdCheck$|BenchmarkOrderAdd|BenchmarkOrderMax|BenchmarkTopKCTParallel|BenchmarkIncrementalAdd|BenchmarkUpdaterApply|BenchmarkWALAppend|BenchmarkRecoveryReplay|BenchmarkTopKWarmQuery' \
+  -bench 'BenchmarkCheckPooled$|BenchmarkCheckCached$|BenchmarkColdCheck$|BenchmarkOrderAdd|BenchmarkOrderMax|BenchmarkTopKCTParallel|BenchmarkIncrementalAdd|BenchmarkUpdaterApply|BenchmarkWALAppend|BenchmarkRecoveryReplay|BenchmarkTopKWarmQuery|BenchmarkStreamIngest' \
   -benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw"
 
 # Parse `go test -bench` lines into JSON records. A -benchmem line looks
@@ -49,13 +52,20 @@ BEGIN { print "{"; printf "  \"generated\": \"%s\",\n  \"benchtime\": \"%s\",\n 
 /^Benchmark/ && / ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     iters = $2; ns = $3
-    bytes = "null"; allocs = "null"
+    bytes = "null"; allocs = "null"; rows = "null"; peak = "null"
     for (i = 4; i <= NF; i++) {
         if ($i == "B/op") bytes = $(i-1)
         if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "rows/s") rows = $(i-1)
+        if ($i == "peak-bytes") peak = $(i-1)
     }
     if (n++) printf ","
-    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, iters, ns, bytes, allocs
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, iters, ns, bytes, allocs
+    # Custom metrics (only BenchmarkStreamIngest emits them today):
+    # ingest throughput and the peak sampled heap during one ingest.
+    if (rows != "null") printf ", \"rows_per_s\": %s", rows
+    if (peak != "null") printf ", \"peak_bytes\": %s", peak
+    printf "}"
 }
 END { print "\n  ]\n}" }
 ' "$raw" > "$out"

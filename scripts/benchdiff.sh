@@ -9,7 +9,9 @@
 # Output: one line per benchmark present in either file, with old and
 # new ns/op, the delta percentage (negative = faster), and the
 # allocs/op movement. Benchmarks present in only one file are flagged.
-# Exit status is always 0; the judgement is the reader's.
+# Benchmarks carrying the ingest memory metrics (rows_per_s,
+# peak_bytes — see BenchmarkStreamIngest) get a second line with their
+# deltas. Exit status is always 0; the judgement is the reader's.
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
@@ -45,4 +47,21 @@ for n in names:
     oa, wa = o.get("allocs_per_op"), w.get("allocs_per_op")
     allocs = f"{oa}" if oa == wa else f"{oa} -> {wa}"
     print(f"{n:<{width}}  {ons:>14}  {wns:>14}  {delta:>8}  {allocs}")
+    # The ingest memory metrics, when both sides carry them.
+    extras = []
+    for key, label, better_down in (("peak_bytes", "peak MiB", True),
+                                    ("rows_per_s", "rows/s", False)):
+        ov, wv = o.get(key), w.get(key)
+        if ov is None and wv is None:
+            continue
+        if ov is None or wv is None or not ov:
+            extras.append(f"{label}: {ov} -> {wv}")
+            continue
+        pct = (wv - ov) / ov * 100
+        if key == "peak_bytes":
+            extras.append(f"{label}: {ov/2**20:.1f} -> {wv/2**20:.1f} ({pct:+.1f}%)")
+        else:
+            extras.append(f"{label}: {ov:.0f} -> {wv:.0f} ({pct:+.1f}%)")
+    if extras:
+        print(f"{'':<{width}}  {'; '.join(extras)}")
 EOF
