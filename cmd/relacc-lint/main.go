@@ -1,0 +1,130 @@
+// Command relacc-lint runs the project's invariant analyzers (see
+// internal/analysis/analyzers and DESIGN.md "Static analysis") over the
+// module from source, no network or build cache required:
+//
+//	go run ./cmd/relacc-lint ./...          # whole module (CI's Lint step)
+//	go run ./cmd/relacc-lint ./internal/chase
+//	go run ./cmd/relacc-lint -only lockscope,poolescape ./...
+//	go run ./cmd/relacc-lint -list          # registry, for check-docs.sh
+//
+// Exit status is 1 when any diagnostic is reported or any package fails
+// to type-check, 0 on a clean tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzers"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("relacc-lint", flag.ExitOnError)
+	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	noTests := fs.Bool("no-tests", false, "exclude _test.go files from analysis")
+	fs.Parse(args)
+
+	all := analyzers.All()
+	if *list {
+		for _, a := range all {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-14s %s\n", a.Name, summary)
+		}
+		return 0
+	}
+
+	selected, err := selectAnalyzers(all, *only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relacc-lint:", err)
+		return 2
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relacc-lint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(load.Config{Dir: root, Tests: !*noTests}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relacc-lint:", err)
+		return 2
+	}
+
+	wd, _ := os.Getwd()
+	exit := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "relacc-lint: %s: %v\n", pkg.Path, terr)
+			exit = 1
+		}
+		if len(pkg.TypeErrors) > 0 {
+			continue // diagnostics over partial types would be noise
+		}
+		findings, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, selected)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relacc-lint: %s: %v\n", pkg.Path, err)
+			return 2
+		}
+		for _, f := range findings {
+			if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				f.Pos.Filename = rel
+			}
+			fmt.Println(f)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func selectAnalyzers(all []*analysis.Analyzer, only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var selected []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+		}
+		selected = append(selected, a)
+	}
+	return selected, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, so the tool works from any subdirectory of the module.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

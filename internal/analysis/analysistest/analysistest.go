@@ -1,0 +1,163 @@
+// Package analysistest checks analyzers against expectation-annotated
+// fixture packages, mirroring golang.org/x/tools/go/analysis/analysistest:
+// fixtures live in testdata/src/<importpath>/ (so they can fake real
+// import paths like repro/internal/chase), and every line that should
+// be flagged carries a comment of the form
+//
+//	// want "regexp"
+//	// want `regexp`
+//
+// with one quoted regexp per expected diagnostic on that line. The
+// harness fails on diagnostics with no matching want, wants with no
+// matching diagnostic, and type errors in the fixture itself (a fixture
+// that does not compile tests nothing). //relacc:allow suppression is
+// applied before matching — exactly as the real driver does — so
+// near-miss fixtures can also pin the escape hatch's behaviour.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Run loads each fixture package from testdata/src and verifies a's
+// findings against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := load.Load(load.Config{Dir: filepath.Join(testdata, "src"), Tests: true}, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", paths, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v", paths)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s does not type-check: %v", pkg.Path, terr)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			continue
+		}
+		findings, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		checkExpectations(t, pkg, findings)
+	}
+}
+
+// lineKey addresses one line of one fixture file.
+type lineKey struct {
+	file string
+	line int
+}
+
+// want is one expected-diagnostic regexp, consumed by at most one
+// finding.
+type want struct {
+	re       *regexp.Regexp
+	consumed bool
+}
+
+// quoted matches one Go string literal — interpreted or raw — holding a
+// want regexp.
+var quoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// wantsOf extracts the want expectations from a fixture package's
+// comments.
+func wantsOf(t *testing.T, pkg *load.Package) map[lineKey][]*want {
+	t.Helper()
+	out := make(map[lineKey][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := regexp.MustCompile(`//\s*want\s+(.*)`).FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{file: pos.Filename, line: pos.Line}
+				qs := quoted.FindAllString(m[1], -1)
+				if len(qs) == 0 {
+					t.Errorf("%s:%d: malformed want comment (no quoted regexp): %s",
+						pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, q := range qs {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkExpectations matches findings against wants, both directions.
+func checkExpectations(t *testing.T, pkg *load.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := wantsOf(t, pkg)
+	for _, f := range findings {
+		key := lineKey{file: f.Pos.Filename, line: f.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.consumed && w.re.MatchString(f.Message) {
+				w.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pkg.Path, f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.consumed {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+					key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+// RunTree runs every analyzer over every package of the module rooted
+// at dir and fails on any finding or type error — the "the real tree is
+// clean" pin used by tree_test.go and, behind the scenes, the same code
+// path relacc-lint exercises in CI.
+func RunTree(t *testing.T, dir string, analyzers []*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := load.Load(load.Config{Dir: dir, Tests: true}, "./...")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+		findings, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+	if t.Failed() {
+		t.Log("the repository tree must stay relacc-lint-clean; fix the finding or add a reviewed //relacc: directive")
+	}
+}

@@ -1,0 +1,24 @@
+// Package analyzers holds relacc-lint's analysis passes: each one
+// encodes a load-bearing invariant of the system (DESIGN.md
+// "Invariants") as a compile-time check, so a violation fails every
+// build instead of waiting for the race detector to explore the right
+// schedule. See DESIGN.md "Static analysis (PR 10)" for the
+// analyzer → invariant map and internal/analysis for the driver and
+// the //relacc: directive grammar.
+package analyzers
+
+import "repro/internal/analysis"
+
+// All returns every registered analyzer, in the stable order
+// relacc-lint runs and lists them. check-docs.sh verifies the DESIGN.md
+// analyzer table against this registry (via relacc-lint -list), so a
+// new analyzer must be documented to land.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Groundingmut,
+		Lockscope,
+		Atomicptr,
+		Poolescape,
+		Lockbalance,
+	}
+}

@@ -1,0 +1,294 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Atomicptr enforces DESIGN.md invariant 3/3a: state published through
+// sync/atomic (atomic.Pointer snapshots like the dictionary's
+// read-path map, legacy fields driven through atomic.LoadUint64 and
+// friends) is only ever read through the atomic API and never written
+// in place. It reports three shapes:
+//
+//  1. Mixed access to a legacy atomic field: a struct field whose
+//     address is passed to a sync/atomic function somewhere in the
+//     package (atomic.AddUint64(&s.n, 1)) but is also read or written
+//     as a plain selector elsewhere. Mixed access is exactly the bug
+//     the race detector needs a lucky schedule to see.
+//
+//  2. A write through a published snapshot: an assignment whose target
+//     is rooted in the result of a Load() on a sync/atomic type —
+//     (*d.read.Load())[k] = v, or m := d.read.Load(); (*m)[k] = v.
+//     Snapshots are copy-on-write; rebinding a local to a fresh copy
+//     (vals = append(vals, x) after vals := *d.vals.Load()) is the
+//     correct idiom and is not flagged.
+//
+//  3. A value copy of a struct containing atomic state: cp := *ent, or
+//     a range over []liveEntity by value. Copying the wrapper copies
+//     the atomic word non-atomically and detaches it from its
+//     published identity. Composite literals on the RHS are fine —
+//     that is construction, not copying.
+var Atomicptr = &analysis.Analyzer{
+	Name: "atomicptr",
+	Doc: "flags non-atomic access to atomically-published state\n\n" +
+		"Fields accessed via sync/atomic anywhere must be accessed that\n" +
+		"way everywhere (DESIGN.md invariant 3); maps and slices\n" +
+		"published through atomic.Pointer are immutable snapshots\n" +
+		"(invariant 3a) — copy, then write, then Store.",
+	Run: runAtomicptr,
+}
+
+func runAtomicptr(pass *analysis.Pass) (any, error) {
+	atomicFields := collectAtomicAPIFields(pass)
+	for _, file := range pass.Files {
+		checkMixedAccess(pass, file, atomicFields)
+		checkSnapshotWrites(pass, file)
+		checkAtomicCopies(pass, file)
+	}
+	return nil, nil
+}
+
+// collectAtomicAPIFields finds struct fields whose address is passed to
+// a sync/atomic function (the legacy, pre-wrapper-type API): these
+// fields belong to the atomic API everywhere.
+func collectAtomicAPIFields(pass *analysis.Pass) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if v := fieldVarOf(pass.TypesInfo, un.X); v != nil {
+					out[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkMixedAccess flags plain selector reads/writes of fields in
+// atomicFields. Taking the address to hand to sync/atomic is of course
+// allowed, as is mentioning the field inside its own struct's composite
+// literal (zero-value construction precedes publication).
+func checkMixedAccess(pass *analysis.Pass, file *ast.File, atomicFields map[*types.Var]bool) {
+	if len(atomicFields) == 0 {
+		return
+	}
+	walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if v == nil || !atomicFields[v] {
+			return true
+		}
+		// Walk out through parens; the interesting parent decides.
+		parent := ast.Node(nil)
+		for i := len(stack) - 1; i >= 0; i-- {
+			if _, ok := stack[i].(*ast.ParenExpr); ok {
+				continue
+			}
+			parent = stack[i]
+			break
+		}
+		if un, ok := parent.(*ast.UnaryExpr); ok && un.Op == token.AND {
+			return true // &s.f — being handed to sync/atomic (or aliased; vet's job)
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s is accessed via sync/atomic elsewhere in this package; this plain access races with those (invariant 3) — use the atomic API here too",
+			sel.Sel.Name)
+		return true
+	})
+}
+
+// checkSnapshotWrites flags assignments whose LHS is rooted in the
+// result of a Load() on a sync/atomic wrapper — either directly
+// ((*d.read.Load())[k] = v) or through a local bound once to such a
+// Load (m := d.read.Load(); (*m)[k] = v). Rebinding the local itself
+// (vals = append(vals, x)) is the copy-on-write idiom and stays legal.
+func checkSnapshotWrites(pass *analysis.Pass, file *ast.File) {
+	snapshots := collectSnapshotLocals(pass, file)
+	report := func(e ast.Expr) {
+		pass.Reportf(e.Pos(),
+			"write through a snapshot obtained from an atomic Load: published snapshots are immutable (invariant 3a) — copy, mutate the copy, then Store it")
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		var targets []ast.Expr
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			targets = st.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{st.X}
+		default:
+			return true
+		}
+		for _, lhs := range targets {
+			// Strip element/deref/field layers; what remains is the root.
+			root := lhs
+			depth := 0
+			for {
+				switch x := ast.Unparen(root).(type) {
+				case *ast.IndexExpr:
+					root, depth = x.X, depth+1
+				case *ast.StarExpr:
+					root, depth = x.X, depth+1
+				case *ast.SelectorExpr:
+					root, depth = x.X, depth+1
+				default:
+					goto rooted
+				}
+			}
+		rooted:
+			if depth == 0 {
+				continue // plain rebinding, never a snapshot write
+			}
+			root = ast.Unparen(root)
+			if isAtomicLoadCall(pass.TypesInfo, root) {
+				report(lhs)
+				continue
+			}
+			if id, ok := root.(*ast.Ident); ok {
+				if v, _ := pass.TypesInfo.Uses[id].(*types.Var); v != nil && snapshots[v] {
+					report(lhs)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectSnapshotLocals finds locals bound exactly once, via :=, to an
+// atomic Load result and never reassigned: writes through them are
+// writes through the snapshot. A local that is ever rebound (the
+// copy-on-write idiom dereferences the Load: vals := *d.vals.Load())
+// is dropped — after rebinding it may hold a private copy.
+func collectSnapshotLocals(pass *analysis.Pass, file *ast.File) map[*types.Var]bool {
+	snapshots := make(map[*types.Var]bool)
+	rebound := make(map[*types.Var]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range st.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if st.Tok == token.DEFINE {
+				v, _ := pass.TypesInfo.Defs[id].(*types.Var)
+				if v == nil || len(st.Rhs) != len(st.Lhs) {
+					continue
+				}
+				// Only a bare Load() result is a snapshot alias; *Load()
+				// dereferences into a value copy the caller may own.
+				if isAtomicLoadCall(pass.TypesInfo, ast.Unparen(st.Rhs[i])) {
+					snapshots[v] = true
+				}
+			} else {
+				if v, _ := pass.TypesInfo.Uses[id].(*types.Var); v != nil {
+					rebound[v] = true
+				}
+			}
+		}
+		return true
+	})
+	for v := range rebound {
+		delete(snapshots, v)
+	}
+	return snapshots
+}
+
+// isAtomicLoadCall reports whether e is a call to Load (or LoadPointer
+// etc.) on a sync/atomic wrapper value or function.
+func isAtomicLoadCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return fn.Name() == "Load" || (len(fn.Name()) > 4 && fn.Name()[:4] == "Load")
+}
+
+// checkAtomicCopies flags value copies of types containing sync/atomic
+// state: assignment/definition from an addressable expression of such a
+// type, and range clauses whose value variable takes such a type.
+// Composite literals and function results are construction/transfer of
+// a fresh value, not a copy of a live one, and pass.
+func checkAtomicCopies(pass *analysis.Pass, file *ast.File) {
+	reportCopy := func(pos token.Pos, t types.Type) {
+		pass.Reportf(pos,
+			"value copy of %s, which contains sync/atomic state: copying the wrapper is non-atomic and detaches it from its published identity (invariant 3) — use a pointer",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				if id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+					continue // discarding evaluates but publishes nothing
+				}
+				rhs = ast.Unparen(rhs)
+				if !isAddressable(rhs) {
+					continue
+				}
+				t := typeOf(pass.TypesInfo, rhs)
+				if t != nil && containsAtomic(t) {
+					reportCopy(rhs.Pos(), t)
+				}
+			}
+		case *ast.RangeStmt:
+			if st.Value == nil {
+				return true
+			}
+			t := typeOf(pass.TypesInfo, st.Value)
+			if t == nil {
+				if id, ok := st.Value.(*ast.Ident); ok {
+					if v, _ := pass.TypesInfo.Defs[id].(*types.Var); v != nil {
+						t = v.Type()
+					}
+				}
+			}
+			if t != nil && containsAtomic(t) {
+				reportCopy(st.Value.Pos(), t)
+			}
+		}
+		return true
+	})
+}
+
+// isAddressable reports whether copying e copies a live value another
+// goroutine may share (identifiers, field selections, index and deref
+// expressions) as opposed to a freshly constructed or returned one.
+func isAddressable(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}

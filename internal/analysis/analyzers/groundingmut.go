@@ -1,0 +1,101 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// chasePath is the import path of the package whose Grounding type
+// invariant 1 protects. Testdata fakes the same path, so the analyzer
+// is matched structurally, never by directory.
+const chasePath = "repro/internal/chase"
+
+// Groundingmut enforces DESIGN.md invariant 1: chase.Grounding values
+// are immutable after construction. Any assignment whose target is a
+// Grounding field — or anything reachable through one, like a step
+// slice element, a trigger map entry or a valID row — is flagged,
+// unless it happens inside a function in package chase itself that is
+// explicitly marked //relacc:grounding-builder (the constructor/Extend
+// allowlist). The marker is only honoured in the defining package, so
+// no other package can ever write a Grounding, marker or not.
+var Groundingmut = &analysis.Analyzer{
+	Name: "groundingmut",
+	Doc: "flags writes to chase.Grounding outside the construction allowlist\n\n" +
+		"Grounding versions are immutable after construction (DESIGN.md\n" +
+		"invariant 1): every concurrent checker, pooled engine and cache\n" +
+		"layer depends on it. Construction-time writers in package chase\n" +
+		"carry the //relacc:grounding-builder directive; everything else\n" +
+		"must treat a Grounding as read-only and absorb new evidence via\n" +
+		"Extend, which returns a new version.",
+	Run: runGroundingmut,
+}
+
+func runGroundingmut(pass *analysis.Pass) (any, error) {
+	inChase := pass.Pkg != nil && pass.Pkg.Path() == chasePath
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if inChase && analysis.HasDirective(fd.Doc, "grounding-builder") {
+				continue // a declared builder; closures inherit
+			}
+			checkGroundingWrites(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkGroundingWrites(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true // := binds new variables; no selector targets
+			}
+			for _, lhs := range st.Lhs {
+				reportGroundingTarget(pass, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportGroundingTarget(pass, st.X)
+		}
+		return true
+	})
+}
+
+// reportGroundingTarget flags e when the write target is rooted in a
+// value of type chase.Grounding: a direct field (g.steps = ...), an
+// element reachable through one (g.valID[a][i] = ..., g.trig[k] =
+// append(...)), or the whole value (*g = Grounding{...}).
+func reportGroundingTarget(pass *analysis.Pass, e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			if isGroundingExpr(pass.TypesInfo, x.X) {
+				pass.Reportf(x.Pos(), "write to a chase.Grounding outside a //relacc:grounding-builder function: grounding versions are immutable after construction (invariant 1); use Extend to produce a new version")
+				return
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			if isGroundingExpr(pass.TypesInfo, x.X) {
+				pass.Reportf(x.Pos(), "write to chase.Grounding field %s outside a //relacc:grounding-builder function: grounding versions are immutable after construction (invariant 1); use Extend to produce a new version", x.Sel.Name)
+				return
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+func isGroundingExpr(info *types.Info, e ast.Expr) bool {
+	return analysis.IsNamedType(typeOf(info, e), chasePath, "Grounding")
+}

@@ -1,0 +1,86 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Lockbalance is the cheap structural complement to lockscope: a
+// function that calls x.Lock() (or x.RLock()) but contains no matching
+// x.Unlock() (x.RUnlock()) at all — deferred or inline — either leaks
+// the lock or hands ownership across a function boundary, and both
+// deserve a second look. Helper methods that intentionally transfer
+// lock ownership (an acquire/release pair split across functions) can
+// carry //relacc:allow lockbalance with a comment explaining the
+// protocol.
+//
+// Lock and RLock are matched against Unlock and RUnlock respectively;
+// the identity of the lock is the receiver expression's source text,
+// the same keying lockscope uses. Conditional releases are fine — one
+// Unlock anywhere in the function balances the scan; this analyzer
+// only catches the total absence of one.
+var Lockbalance = &analysis.Analyzer{
+	Name: "lockbalance",
+	Doc: "flags functions that acquire a mutex they never release\n\n" +
+		"A Lock with no matching Unlock in the same function either\n" +
+		"deadlocks under the right schedule or implements a cross-\n" +
+		"function ownership transfer that should be declared with\n" +
+		"//relacc:allow lockbalance and a protocol comment.",
+	Run: runLockbalance,
+}
+
+func runLockbalance(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockBalance(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func checkLockBalance(pass *analysis.Pass, fd *ast.FuncDecl) {
+	type acquire struct {
+		pos  ast.Expr // the call, for reporting
+		kind string   // Lock or RLock
+	}
+	acquires := make(map[string][]acquire) // recv source text -> acquisitions
+	releases := make(map[string]bool)      // recv source text + kind -> seen
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := mutexOpOf(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		key := types.ExprString(op.recv)
+		switch op.name {
+		case "Lock", "RLock":
+			acquires[key] = append(acquires[key], acquire{pos: call.Fun, kind: op.name})
+		case "Unlock", "RUnlock":
+			releases[key+"\x00"+op.name] = true
+		}
+		return true
+	})
+
+	for key, as := range acquires {
+		for _, a := range as {
+			if releases[key+"\x00"+unlockFor[a.kind]] {
+				continue
+			}
+			pass.Reportf(a.pos.Pos(),
+				"%s.%s has no matching %s in this function: either a leak that deadlocks the next acquirer, or an ownership transfer that needs //relacc:allow lockbalance and a protocol comment",
+				key, a.kind, unlockFor[a.kind])
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package atomicptr exercises the three shapes of non-atomic access to
+// atomically-published state: mixed plain/atomic access to a legacy
+// field, writes through a published snapshot, and value copies of
+// atomic-bearing structs.
+package atomicptr
+
+import "sync/atomic"
+
+// --- shape 1: mixed access to a legacy atomic field ---
+
+type counter struct {
+	n     uint64
+	label string // ordinary field; never atomic
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.n, 1) // establishes c.n as an atomic-API field
+}
+
+func (c *counter) readPlain() uint64 {
+	return c.n // want `field n is accessed via sync/atomic elsewhere`
+}
+
+func (c *counter) writePlain() {
+	c.n = 0 // want `field n is accessed via sync/atomic elsewhere`
+}
+
+func (c *counter) readAtomic() uint64 {
+	return atomic.LoadUint64(&c.n) // &c.n for the atomic API: allowed
+}
+
+func (c *counter) readLabel() string {
+	return c.label // untouched by sync/atomic: allowed
+}
+
+// --- shape 2: writes through a published snapshot ---
+
+type dict struct {
+	read atomic.Pointer[map[string]int]
+	vals atomic.Pointer[[]int]
+}
+
+func (d *dict) writeDirect() {
+	(*d.read.Load())["k"] = 1 // want `write through a snapshot obtained from an atomic Load`
+}
+
+func (d *dict) writeViaLocal() {
+	m := d.read.Load()
+	(*m)["k"] = 2 // want `write through a snapshot obtained from an atomic Load`
+}
+
+func (d *dict) readOnly() int {
+	return (*d.read.Load())["k"] // reads are what snapshots are for
+}
+
+func (d *dict) copyOnWrite(v int) {
+	// The sanctioned idiom: deref-copy, mutate the copy, publish it.
+	vals := *d.vals.Load()
+	vals = append(vals, v)
+	d.vals.Store(&vals)
+}
+
+// --- shape 3: value copies of atomic-bearing structs ---
+
+type entity struct {
+	g atomic.Pointer[int]
+}
+
+type table struct {
+	ents []entity
+}
+
+func copyEntity(e *entity) {
+	cp := *e // want `value copy of entity, which contains sync/atomic state`
+	_ = cp
+}
+
+func rangeByValue(t *table) {
+	for _, e := range t.ents { // want `value copy of entity, which contains sync/atomic state`
+		_ = e
+	}
+}
+
+func construction() entity {
+	e := entity{} // a fresh composite literal, not a copy of a live value
+	return e
+}
+
+func byPointer(t *table) {
+	for i := range t.ents {
+		p := &t.ents[i] // pointers to live values are the correct idiom
+		_ = p
+	}
+}
+
+var _ = (*counter).bump
+var _ = (*counter).readPlain
+var _ = (*counter).writePlain
+var _ = (*counter).readAtomic
+var _ = (*counter).readLabel
+var _ = (*dict).writeDirect
+var _ = (*dict).writeViaLocal
+var _ = (*dict).readOnly
+var _ = (*dict).copyOnWrite
+var _ = copyEntity
+var _ = rangeByValue
+var _ = construction
+var _ = byPointer

@@ -1,0 +1,66 @@
+// Package lockbalance exercises the acquire-without-release analyzer:
+// a Lock (RLock) with no matching Unlock (RUnlock) anywhere in the same
+// function is flagged; conditional releases and declared ownership
+// transfers are not.
+package lockbalance
+
+import "sync"
+
+type store struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int
+	out []int
+}
+
+// leak: the classic early-return bug shape, reduced to its essence.
+func (s *store) leak() {
+	s.mu.Lock() // want `s.mu.Lock has no matching Unlock in this function`
+	s.n++
+}
+
+// wrongFlavor: Unlock does not balance RLock — releasing a read lock
+// with the writer API corrupts the RWMutex state.
+func (s *store) wrongFlavor() int {
+	s.rw.RLock() // want `s.rw.RLock has no matching RUnlock in this function`
+	n := s.n
+	s.rw.Unlock()
+	return n
+}
+
+// deferred: the canonical shape.
+func (s *store) deferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// conditional: one release on every path; any textual Unlock balances
+// the scan (path-sensitivity is the race detector's job).
+func (s *store) conditional(flush bool) {
+	s.mu.Lock()
+	if flush {
+		s.out = append(s.out, s.n)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+// transfer: a split acquire/release protocol, declared as such. The
+// matching release lives in releaseFor, and callers pair them.
+func (s *store) acquireFor() {
+	s.mu.Lock() //relacc:allow lockbalance
+	s.n++
+}
+
+func (s *store) releaseFor() {
+	s.mu.Unlock()
+}
+
+var _ = (*store).leak
+var _ = (*store).wrongFlavor
+var _ = (*store).deferred
+var _ = (*store).conditional
+var _ = (*store).acquireFor
+var _ = (*store).releaseFor

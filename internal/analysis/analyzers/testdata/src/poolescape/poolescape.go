@@ -1,0 +1,88 @@
+// Package poolescape exercises the pooled-value ownership analyzer:
+// values from a sync.Pool must stay function-scoped until Put, with a
+// pool-owning type's Get accessor as the one sanctioned hand-out.
+package poolescape
+
+import "sync"
+
+type checker struct{ scratch []int }
+
+type pool struct {
+	pool sync.Pool
+	held *checker
+}
+
+var global *checker
+
+// returned: handing the pooled value to the caller without transferring
+// the Put obligation through a sanctioned accessor.
+func returned(p *pool) *checker {
+	v := p.pool.Get().(*checker)
+	return v // want `sync.Pool value escapes before Put \(returned to the caller\)`
+}
+
+// storedGlobal parks the pooled value in a package variable.
+func storedGlobal(p *pool) {
+	v := p.pool.Get().(*checker)
+	global = v // want `sync.Pool value escapes before Put \(stored to a field, element or package variable\)`
+	p.pool.Put(v)
+}
+
+// storedField parks it in a struct field — same hazard, heap-shaped.
+func storedField(p *pool) {
+	v := p.pool.Get().(*checker)
+	p.held = v // want `sync.Pool value escapes before Put \(stored to a field, element or package variable\)`
+	p.pool.Put(v)
+}
+
+// sent ships the pooled value to another goroutine.
+func sent(p *pool, ch chan *checker) {
+	v := p.pool.Get().(*checker)
+	ch <- v // want `sync.Pool value escapes before Put \(sent on a channel\)`
+	p.pool.Put(v)
+}
+
+// appended hides the pooled value inside a slice that outlives it.
+func appended(p *pool, out []*checker) []*checker {
+	v := p.pool.Get().(*checker)
+	out = append(out, v) // want `sync.Pool value escapes before Put \(appended to a slice\)`
+	p.pool.Put(v)
+	return out
+}
+
+// borrowed: passing the pooled value DOWN a call is borrowing, not
+// escaping; Get-use-Put with a deferred Put is the canonical shape.
+func borrowed(p *pool, xs []int) int {
+	v := p.pool.Get().(*checker)
+	defer p.pool.Put(v)
+	return use(v, xs)
+}
+
+func use(c *checker, xs []int) int {
+	c.scratch = append(c.scratch[:0], xs...)
+	return len(c.scratch)
+}
+
+// Get is the sanctioned accessor: a method named Get on the type that
+// owns the pool exists to hand the value out, and its caller inherits
+// the Put obligation.
+func (p *pool) Get() *checker {
+	return p.pool.Get().(*checker)
+}
+
+// rebound: once the variable is overwritten with a non-pooled value,
+// returning it is fine.
+func rebound(p *pool) *checker {
+	v := p.pool.Get().(*checker)
+	p.pool.Put(v)
+	v = &checker{}
+	return v
+}
+
+var _ = returned
+var _ = storedGlobal
+var _ = storedField
+var _ = sent
+var _ = appended
+var _ = borrowed
+var _ = rebound

@@ -1,0 +1,77 @@
+// Package chase is a miniature stand-in for repro/internal/chase: just
+// enough structure (a Grounding with step/trigger/valID state, builder
+// functions, deduction entry points) for the analyzer fixtures to fake
+// the real import path. The real analyzers match packages by path, so
+// everything verified here transfers to the real tree.
+package chase
+
+// Grounding mimics the immutable deduction state of the real package.
+// Hint is exported so fixtures in other packages can attempt writes;
+// the real Grounding has no exported fields, but the analyzer must not
+// depend on that.
+type Grounding struct {
+	Hint    int
+	steps   []step
+	trig    map[string][]int
+	valID   [][]uint32
+	version int
+}
+
+type step struct{ rule, tuple int }
+
+//relacc:grounding-builder
+func NewGrounding(n int) *Grounding {
+	g := &Grounding{trig: make(map[string][]int)}
+	g.valID = make([][]uint32, n) // allowed: declared builder
+	g.version = 1
+	return g
+}
+
+//relacc:grounding-builder
+func (g *Grounding) Extend(vals []uint32) *Grounding {
+	ng := &Grounding{version: g.version + 1}
+	ng.valID = append(append([][]uint32(nil), g.valID...), vals)
+	return ng
+}
+
+// buildVia pins that closures inside a declared builder inherit the
+// allowlist: construction helpers are routinely closures.
+//
+//relacc:grounding-builder
+func buildVia(n int) *Grounding {
+	g := &Grounding{}
+	fill := func() { g.version = n }
+	fill()
+	return g
+}
+
+// Run and CheckBatch are the deduction entry points the lockscope
+// fixtures call.
+func (g *Grounding) Run() int { return g.version }
+
+func (g *Grounding) CheckBatch(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		if x < len(g.steps) {
+			n++
+		}
+	}
+	return n
+}
+
+// depth only reads; no directive needed.
+func (g *Grounding) depth() int { return len(g.steps) }
+
+// mutateInPlace is exactly the violation the allowlist exists to catch:
+// writes to Grounding state from an undeclared function, even inside
+// package chase itself.
+func (g *Grounding) mutateInPlace(rule, tuple int) {
+	g.steps = append(g.steps, step{rule, tuple}) // want `write to chase.Grounding field steps`
+	g.valID[0][0] = 9                            // want `write to chase.Grounding field valID`
+	g.trig["k"] = nil                            // want `write to chase.Grounding field trig`
+	g.version++                                  // want `write to chase.Grounding field version`
+}
+
+var _ = (*Grounding).depth
+var _ = (*Grounding).mutateInPlace
+var _ = buildVia

@@ -1,0 +1,164 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// walkStack traverses root depth-first in source order, calling fn with
+// each node and the stack of its ancestors (outermost first, not
+// including the node itself). fn returning false prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(n, stack)
+		if ok {
+			stack = append(stack, n)
+		}
+		return ok
+	})
+}
+
+// calleeOf resolves a call expression to the static *types.Func it
+// invokes (a plain function or a method accessed through a selector).
+// It returns nil for calls it cannot resolve statically: function
+// values, interface methods without a concrete receiver type, builtins
+// and conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// mutexOp describes one sync.Mutex/RWMutex method call site.
+type mutexOp struct {
+	recv ast.Expr // the lock expression, e.g. `u.keyMu` in u.keyMu.Lock()
+	name string   // Lock, RLock, Unlock, RUnlock
+}
+
+// mutexOpOf recognises calls to the sync mutex methods, including
+// promoted calls through embedded mutexes. The receiver expression is
+// the selector's base (for an embedded mutex that is the embedding
+// value, which is exactly the lock identity a human reads).
+func mutexOpOf(info *types.Info, call *ast.CallExpr) (mutexOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return mutexOp{}, false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return mutexOp{}, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return mutexOp{recv: sel.X, name: fn.Name()}, true
+	}
+	return mutexOp{}, false
+}
+
+// fieldVarOf returns the struct field a selector expression resolves
+// to, or nil when e is not a field selection.
+func fieldVarOf(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[sel.Sel].(*types.Var)
+	if v != nil && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// directiveFields collects the struct fields of this package whose
+// declaration carries the named //relacc: directive.
+func directiveFields(pass *analysis.Pass, directive string) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !analysis.HasDirective(field.Doc, directive) &&
+					!analysis.HasDirective(field.Comment, directive) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isAtomicType reports whether t is itself one of the sync/atomic
+// wrapper types (Value, Pointer[T], Int64, Uint32, ...). Deliberately
+// not pointer-stripping: a *atomic.Int64 is an ordinary pointer and
+// copying it is fine.
+func isAtomicType(t types.Type) bool {
+	n, _ := types.Unalias(t).(*types.Named)
+	if n == nil {
+		return false
+	}
+	if orig := n.Origin(); orig != nil {
+		n = orig
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// containsAtomic reports whether a value of type t directly embeds
+// atomic state: a sync/atomic wrapper field anywhere inside the value
+// (structs, embedded structs, arrays), which makes a plain value copy
+// of t a concurrency bug.
+func containsAtomic(t types.Type) bool {
+	return containsAtomicRec(t, make(map[types.Type]bool))
+}
+
+func containsAtomicRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if isAtomicType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAtomicRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAtomicRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// typeOf is a nil-tolerant Info.Types lookup.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Finding is one diagnostic from one analyzer, resolved to a file
+// position — what the multichecker prints and the test harness matches.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)",
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Run applies each analyzer to one type-checked package and returns the
+// surviving findings, sorted by position. Suppression is applied here,
+// centrally: a //relacc:allow directive on a finding's line silences
+// the named analyzers uniformly, so individual analyzers never need to
+// know the escape hatch exists.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	allowed := AllowedLines(fset, files)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if allowed[LineKey{File: pos.Filename, Line: pos.Line}][a.Name] {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

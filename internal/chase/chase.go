@@ -579,6 +579,10 @@ func buildGroups(ids []uint32) idGroups {
 	return out
 }
 
+// indexValues builds the per-attribute value/ID indexes and position
+// groups during construction.
+//
+//relacc:grounding-builder
 func (g *Grounding) indexValues() {
 	n, na := g.n, g.nattr
 	g.valID = make([][]uint32, na)
@@ -624,6 +628,8 @@ type packedPair struct {
 // deduplicated across rules (rule sets often contain several rules with
 // the same consequence, per the paper's Exp setup), which bounds their
 // number by #attrs·|Ie|².
+//
+//relacc:grounding-builder
 func (g *Grounding) ground() []packedPair {
 	var zero []packedPair
 	seen := newPairSet(g.nattr, g.n)
@@ -949,6 +955,11 @@ func (ix *form2Index) consequence(im *model.MasterRelation, e form2Entry) (attr 
 	return f.tgt, im.Tuple(int(e.rowIdx)).At(int(f.src)), f.consID[e.rowIdx]
 }
 
+// addStep appends one ground step and registers its premises in the
+// trigger maps — the single write path every grounding routine funnels
+// through.
+//
+//relacc:grounding-builder
 func (g *Grounding) addStep(st groundStep) {
 	idx := int32(len(g.steps))
 	g.steps = append(g.steps, st)

@@ -35,6 +35,8 @@ import (
 // step gets reported first depends on enforcement order, so the
 // Conflict string may name a different (equally valid) culprit than a
 // fresh grounding's.
+//
+//relacc:grounding-builder
 func (g *Grounding) Extend(tuples ...*model.Tuple) (*Grounding, error) {
 	if len(tuples) == 0 {
 		return g, nil
@@ -106,6 +108,8 @@ const maxTrigLayers = 32
 // trigger maps. Layers are merged oldest first and the own layer last,
 // which keeps every key's refs sorted by step index — the same order a
 // fresh grounding registers them in.
+//
+//relacc:grounding-builder
 func (ng *Grounding) compactTriggers() {
 	merged := make(map[uint64][]predRef)
 	mt := make([][]predRef, ng.nattr)
@@ -139,6 +143,8 @@ func (g *Grounding) Version() int { return g.version }
 // never change. The old representation's per-extend map-of-Value copy,
 // which rehashed every distinct value and re-keyed every group, is
 // gone entirely.
+//
+//relacc:grounding-builder
 func (ng *Grounding) extendValues(p *Grounding) {
 	n, na, oldN := ng.n, ng.nattr, p.n
 	ng.valID = make([][]uint32, na)
@@ -217,6 +223,8 @@ func newDeltaEngine(ng, p *Grounding) *engine {
 // New facts propagate through the layered triggers into old steps, and
 // closure insertion may derive old×old pairs bridged by a new tuple —
 // both paths run through the same engine the fresh base chase uses.
+//
+//relacc:grounding-builder
 func (ng *Grounding) baseChaseDelta(p *Grounding, zeroPairs []packedPair) {
 	e := newDeltaEngine(ng, p)
 	if p.baseConflict != "" {
@@ -298,6 +306,8 @@ func (ng *Grounding) seedDeltaAxioms(e *engine, oldN int) {
 
 // snapshotBase freezes the engine's terminal state as this version's
 // base snapshot.
+//
+//relacc:grounding-builder
 func (g *Grounding) snapshotBase(e *engine) {
 	g.baseOrders = e.orders
 	g.baseCounts = e.counts

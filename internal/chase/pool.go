@@ -173,6 +173,11 @@ func (p *CheckerPool) CheckMany(parallelism, n int, tuple func(int) *model.Tuple
 // first use. All callers verifying candidates against g — the top-k
 // algorithms, CheckBatch, user code — share one pool so engines are
 // reused across call sites.
+//
+// The write to g.pool is lazy construction, made once-only by
+// poolOnce; the pool is deduction machinery, not deduced state.
+//
+//relacc:grounding-builder
 func (g *Grounding) Pool() *CheckerPool {
 	g.poolOnce.Do(func() { g.pool = NewCheckerPool(g) })
 	return g.pool

@@ -74,6 +74,8 @@ func (sh *Shared) Rules() *rule.Set { return sh.rules }
 // base chase still run, but validation and the form-(2) index are
 // reused. The instance must use the exact schema the Shared was built
 // for (pointer identity, as everywhere in package model).
+//
+//relacc:grounding-builder
 func (sh *Shared) NewGrounding(ie *model.EntityInstance, opts Options) (*Grounding, error) {
 	if ie == nil {
 		return nil, fmt.Errorf("chase: specification has no entity instance")

@@ -108,6 +108,11 @@ type shard struct {
 // flight: a failed creation withdraws its routing entry again (see
 // applyOne), so the shard maps hold no permanent tombstones.
 type liveEntity struct {
+	// mu serialises extend+commit+re-deduce per entity; holding it
+	// across deduction is the design (writers to the same entity must
+	// not interleave), not an accident.
+	//
+	//relacc:lock-held-over-deduction
 	mu sync.Mutex
 	g  atomic.Pointer[chase.Grounding]
 	// memo is the entity's settled-target cache: the last computed
@@ -158,6 +163,8 @@ type Updater struct {
 	// reflected in the live entities. Uncontended RLock/RUnlock is
 	// noise next to a deduction, so the gate is taken in memory-only
 	// mode too.
+	//
+	//relacc:lock-held-over-deduction
 	applyGate sync.RWMutex
 
 	shards [shardCount]shard

@@ -77,3 +77,88 @@ func TestRingConcurrent(t *testing.T) {
 		t.Errorf("Len = %d, want 64", r.Len())
 	}
 }
+
+// TestRingConcurrentWriters hammers the ring from concurrent writers
+// while readers query mid-flight, and checks the answers stay
+// well-formed throughout — not just that the race detector stays
+// quiet. Every written sample encodes its writer and sequence number,
+// so a torn or partially-evicted snapshot would surface as a value
+// nobody wrote, and percentile answers must stay monotone in p over a
+// single consistent snapshot.
+func TestRingConcurrentWriters(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 2000
+		stride  = 1 << 20 // writer g writes g*stride + i: values self-identify
+		cap     = 128
+	)
+	r := NewRing(cap)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Add(time.Duration(g*stride + i))
+			}
+		}(g)
+	}
+
+	var readerWG sync.WaitGroup
+	for rd := 0; rd < 2; rd++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if n := r.Len(); n < 0 || n > cap {
+					t.Errorf("Len = %d outside [0, %d]", n, cap)
+					return
+				}
+				ps := r.Percentiles(0, 50, 99, 100)
+				if ps == nil {
+					continue // window still empty
+				}
+				if len(ps) != 4 {
+					t.Errorf("Percentiles returned %d answers, want 4", len(ps))
+					return
+				}
+				for i := 1; i < len(ps); i++ {
+					if ps[i] < ps[i-1] {
+						t.Errorf("percentiles not monotone: %v", ps)
+						return
+					}
+				}
+				for _, v := range ps {
+					g, i := int(v)/stride, int(v)%stride
+					if g < 0 || g >= writers || i < 0 || i >= perG {
+						t.Errorf("percentile answer %d was never written (writer %d, seq %d)", v, g, i)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if n := r.Len(); n != cap {
+		t.Errorf("Len after %d writes = %d, want full window %d", writers*perG, n, cap)
+	}
+	// The window now holds the last cap writes; with all writers done,
+	// one consistent snapshot must still only contain written values.
+	for _, v := range r.Percentiles(0, 25, 50, 75, 99, 100) {
+		g, i := int(v)/stride, int(v)%stride
+		if g < 0 || g >= writers || i < 0 || i >= perG {
+			t.Errorf("final percentile answer %d was never written", v)
+		}
+	}
+}

@@ -25,7 +25,21 @@ for f in $refs; do
 		fail=1
 	fi
 done
+# The DESIGN.md "Static analysis" analyzer table must list exactly the
+# analyzers relacc-lint registers — both directions, so neither an
+# undocumented analyzer nor a stale table row can land.
+lint_names=$(go run ./cmd/relacc-lint -list | awk '{print $1}' | sort)
+doc_names=$(awk '/^## Static analysis/,/^## Performance/' DESIGN.md |
+	awk -F'|' '/^\|/ && $2 ~ /`/ { gsub(/[` ]/, "", $2); print $2 }' | sort)
+if [ "$lint_names" != "$doc_names" ]; then
+	echo "check-docs: DESIGN.md analyzer table is out of sync with relacc-lint -list" >&2
+	echo "  registry:  $(echo "$lint_names" | tr '\n' ' ')" >&2
+	echo "  DESIGN.md: $(echo "$doc_names" | tr '\n' ' ')" >&2
+	fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
 	echo "check-docs: all referenced markdown files exist"
+	echo "check-docs: DESIGN.md analyzer table matches relacc-lint -list"
 fi
 exit "$fail"

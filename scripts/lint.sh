@@ -1,0 +1,20 @@
+#!/bin/sh
+# lint.sh — run relacc-lint, the project's invariant analyzer suite,
+# over the whole module (tests included).
+#
+# The analyzers (internal/analysis/analyzers, documented in DESIGN.md
+# "Static analysis") turn the concurrency and immutability invariants
+# into compile-time checks: grounding immutability, no lock across
+# deduction, atomic-publication discipline, sync.Pool ownership, lock
+# acquire/release balance. Exit status 1 means a violation with a
+# file:line diagnostic; fix the code or add a reviewed //relacc:
+# directive at the declaration it covers.
+#
+# Usage: ./scripts/lint.sh [patterns...]   (default: ./...)
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "$#" -eq 0 ]; then
+	set -- ./...
+fi
+exec go run ./cmd/relacc-lint "$@"
